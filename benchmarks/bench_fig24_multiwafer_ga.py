@@ -1,0 +1,106 @@
+"""Fig. 24 — (a) multi-wafer scaling vs multi-node Megatron; (b) GA ω trade-off."""
+
+from dataclasses import replace
+
+from repro.analysis.reporting import Report
+from repro.baselines.gpu_system import GpuEvaluator
+from repro.core.central_scheduler import CentralScheduler
+from repro.core.evaluator import Evaluator
+from repro.core.genetic import GAConfig, GeneticOptimizer
+from repro.hardware.configs import GpuSystemConfig, dgx_b300_equalized
+from repro.interconnect.topology import MultiWaferTopology
+from repro.units import FP16_BYTES, tbps
+from repro.workloads.models import get_model
+from repro.workloads.workload import TrainingWorkload
+
+from conftest import emit, run_once
+
+MODELS_24A = {
+    "gpt-175b": (64, 4, 2048),
+    "llama3-405b": (64, 2, 4096),
+    "deepseek-v3-671b": (64, 2, 4096),
+}
+
+
+def multi_wafer_throughput(wafer, workload, num_wafers, w2w_bandwidth):
+    """Pipeline the model across ``num_wafers`` wafers and price the W2W boundary.
+
+    Each wafer hosts a contiguous slice of the layers and is scheduled by WATOS
+    independently; the wafer-to-wafer activation transfer overlaps with compute except
+    for the pipeline-fill portion and any excess of the transfer over one micro-batch's
+    per-wafer time.
+    """
+    node = MultiWaferTopology(num_wafers=num_wafers, wafer=wafer, w2w_bandwidth=w2w_bandwidth)
+    sub_model = replace(workload.model, name=f"{workload.model.name}-slice",
+                        num_layers=max(1, workload.model.num_layers // num_wafers))
+    sub_workload = TrainingWorkload(
+        sub_model, workload.global_batch_size, workload.micro_batch_size,
+        workload.seq_len,
+    )
+    best = CentralScheduler(wafer).best(sub_workload)
+    if best is None:
+        return 0.0
+    sub_iteration = best.result.iteration_time
+    n = sub_workload.num_microbatches(1)
+    per_micro = sub_iteration / n
+    transfer = (
+        workload.micro_batch_size * workload.seq_len * workload.model.hidden_size * FP16_BYTES
+        / node.w2w_link().bandwidth
+    )
+    exposed = (num_wafers - 1) * transfer + n * max(0.0, transfer - per_micro)
+    total_time = sub_iteration + exposed
+    total_flops = best.result.useful_flops * num_wafers
+    return total_flops / total_time
+
+
+def test_fig24a_multi_wafer_scaling(benchmark, config3):
+    gpu_cluster = GpuSystemConfig(
+        name="4-node-dgx", num_gpus=32, gpus_per_node=8, gpu=dgx_b300_equalized().gpu,
+    )
+
+    def run():
+        rows = {}
+        for model_name, (batch, micro, seq) in MODELS_24A.items():
+            workload = TrainingWorkload(get_model(model_name), batch, micro, seq)
+            gpu = GpuEvaluator(gpu_cluster).evaluate(workload)
+            rows[model_name] = {
+                "Megatron-4node": gpu.throughput / 1e12,
+                "WATOS-4 (0.4 TB/s W2W)": multi_wafer_throughput(config3, workload, 4, 400e9) / 1e12,
+                "WATOS-18 (1.8 TB/s W2W)": multi_wafer_throughput(config3, workload, 4, tbps(1.8)) / 1e12,
+            }
+        return rows
+
+    rows = run_once(benchmark, run)
+    report = Report("Fig. 24a — four Config-3 wafers vs four 8-GPU nodes")
+    report.add_table("throughput (TFLOPS)", rows)
+    emit(report)
+
+    for model_name, row in rows.items():
+        assert row["WATOS-18 (1.8 TB/s W2W)"] >= row["WATOS-4 (0.4 TB/s W2W)"] * 0.999
+        assert row["WATOS-4 (0.4 TB/s W2W)"] >= row["Megatron-4node"] * 0.999, model_name
+
+
+def test_fig24b_ga_omega_tradeoff(benchmark, config3):
+    workload = TrainingWorkload(get_model("llama2-30b"), 64, 8, 4096)
+    seed_plan = CentralScheduler(config3).best(workload).plan
+    evaluator = Evaluator(config3)
+
+    def run():
+        curves = {}
+        for omega in (0.0, 0.25, 0.5, 0.75, 1.0):
+            ga = GeneticOptimizer(
+                evaluator, workload,
+                GAConfig(population_size=6, generations=5, omega=omega, seed=11),
+            )
+            outcome = ga.optimize(seed_plan)
+            start = outcome.history[0]
+            curves[f"omega={omega}"] = [start / value if value else 0.0 for value in outcome.history]
+        return curves
+
+    curves = run_once(benchmark, run)
+    report = Report("Fig. 24b — GA convergence for different elitism shares (ω)")
+    report.add_series("normalised fitness improvement per generation (higher is better)", curves)
+    emit(report)
+
+    for curve in curves.values():
+        assert all(curve[i + 1] >= curve[i] - 1e-9 for i in range(len(curve) - 1))

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Architecture design-space exploration: enumerate wafer configurations under the area
+constraint and co-explore training strategies for a mix of LLM workloads.
+
+This is the full WATOS flow of Fig. 9: Enumerator → co-exploration engine → reports.
+
+Run with::
+
+    python examples/architecture_dse.py
+"""
+
+from repro import TrainingWorkload, get_model
+from repro.analysis.reporting import Report
+from repro.core.framework import Watos
+from repro.core.genetic import GAConfig
+from repro.hardware.configs import wafer_config2, wafer_config3, wafer_config4
+
+
+def main() -> None:
+    # Candidate architectures: three of the Table II presets (an enumerator could be
+    # used instead — see repro.hardware.enumerator.ArchitectureEnumerator).
+    candidates = [wafer_config2(), wafer_config3(), wafer_config4()]
+
+    workloads = [
+        TrainingWorkload(get_model("llama2-30b"), 128, 4, 4096),
+        TrainingWorkload(get_model("llama3-70b"), 128, 4, 4096),
+        TrainingWorkload(get_model("gpt-175b"), 64, 4, 2048),
+    ]
+
+    watos = Watos(
+        candidates=candidates,
+        use_ga=True,
+        ga_config=GAConfig(population_size=8, generations=6, seed=0),
+    )
+    result = watos.explore(workloads)
+
+    report = Report("WATOS architecture / training-strategy co-exploration")
+    rows = {}
+    for outcome in result.outcomes:
+        key = f"{outcome.wafer.name} / {outcome.workload.model.name}"
+        rows[key] = {
+            "throughput_tflops": outcome.result.throughput / 1e12,
+            "tp": outcome.plan.parallelism.tp,
+            "pp": outcome.plan.parallelism.pp,
+            "recompute_ratio": outcome.result.recompute_ratio,
+        }
+    report.add_table("best strategy per (wafer, workload)", rows)
+    report.add_text(f"best wafer across the workload mix: {result.best_wafer()}")
+    print(report.render())
+
+
+if __name__ == "__main__":
+    main()

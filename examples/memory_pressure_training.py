@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Memory-pressure scenario: train GPT-175B with a heavy micro-batch on Config 3.
+
+Naive full checkpointing goes out of memory; the example shows how the GCMR
+recomputation scheduler, the Sender/Helper pairing and the location-aware placement /
+DRAM allocation together make the configuration trainable, and how much better they do
+than naive full recomputation (the MG-wafer fallback).
+
+Run with::
+
+    python examples/memory_pressure_training.py
+"""
+
+from repro import Evaluator, ParallelismConfig, TrainingWorkload, get_model, wafer_config3
+from repro.baselines.wafer_strategies import megatron_wafer_plan
+from repro.core.central_scheduler import CentralScheduler
+from repro.core.plan import RecomputeConfig, TrainingPlan
+from repro.core.recomputation import GcmrScheduler
+from repro.parallelism.partition import best_mesh_shape
+
+
+def main() -> None:
+    wafer = wafer_config3()
+    workload = TrainingWorkload(
+        get_model("gpt-175b"), global_batch_size=64, micro_batch_size=8,
+        sequence_length=2048,
+    )
+    evaluator = Evaluator(wafer)
+    tp, pp = 4, 14
+    shape = best_mesh_shape(tp, wafer.dies_x, wafer.dies_y)
+
+    # 1. Naive plan: keep every checkpoint.  The early pipeline stages overflow.
+    naive = TrainingPlan(
+        parallelism=ParallelismConfig(dp=1, tp=tp, pp=pp), tp_shape=shape,
+        recompute=RecomputeConfig.none(pp),
+    )
+    naive_result = evaluator.evaluate(workload, naive)
+    print(f"naive full checkpointing  : {'OOM' if naive_result.oom else 'fits'}")
+
+    # 2. GCMR: decide per stage what to recompute and who balances whose checkpoints.
+    gcmr = GcmrScheduler(wafer).schedule(workload, tp, pp)
+    print(f"GCMR feasible             : {gcmr.feasible}")
+    print(f"  senders (overflowing)   : {list(gcmr.senders)}")
+    print(f"  helpers (spare DRAM)    : {list(gcmr.helpers)}")
+    print(f"  balanced bytes          : {gcmr.total_balanced_bytes / 1e9:.1f} GB")
+
+    # 3. Full WATOS plan (placement + DRAM allocation + evaluation).
+    plan = CentralScheduler(wafer).build_plan(workload, tp, pp)
+    watos_result = evaluator.evaluate(workload, plan)
+    print(f"\nWATOS plan ({plan.parallelism.label()}):")
+    print(f"  throughput       : {watos_result.throughput / 1e12:.0f} TFLOPS")
+    print(f"  recompute ratio  : {watos_result.recompute_ratio:.2%}")
+    print(f"  stage memory (GB): {[round(m / 1e9) for m in watos_result.stage_memory_bytes]}")
+
+    # 4. Compare with Megatron's strategy transplanted onto the wafer.
+    _, mg_result = megatron_wafer_plan(wafer, workload)
+    if mg_result is not None:
+        print(f"\nMG-wafer baseline: {mg_result.throughput / 1e12:.0f} TFLOPS "
+              f"(recompute ratio {mg_result.recompute_ratio:.2%})")
+        print(f"WATOS speedup over MG-wafer: "
+              f"{watos_result.throughput / mg_result.throughput:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Quickstart: find the best WATOS training strategy for Llama-2 30B on wafer Config 3.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import Evaluator, ParallelismConfig, TrainingWorkload, get_model, wafer_config3
+from repro.core.central_scheduler import CentralScheduler
+from repro.core.plan import RecomputeConfig, TrainingPlan
+
+
+def main() -> None:
+    # 1. Pick a wafer configuration (Table II Config 3, the paper's optimum) and a model.
+    wafer = wafer_config3()
+    model = get_model("llama2-30b")
+    workload = TrainingWorkload(
+        model, global_batch_size=128, micro_batch_size=4, sequence_length=4096
+    )
+    print("wafer:", wafer.describe())
+    print("workload:", workload.describe())
+
+    # 2. Price a hand-written plan: TP=8, PP=7, no recomputation.
+    evaluator = Evaluator(wafer)
+    manual = TrainingPlan(
+        parallelism=ParallelismConfig(dp=1, tp=8, pp=7),
+        tp_shape=(2, 4),
+        recompute=RecomputeConfig.none(7),
+    )
+    manual_result = evaluator.evaluate(workload, manual)
+    print(f"\nmanual plan {manual.parallelism.label()}: "
+          f"{manual_result.throughput / 1e12:.0f} TFLOPS, "
+          f"iteration {manual_result.iteration_time:.2f}s")
+
+    # 3. Let WATOS's central scheduler search the (TP, PP, collective) space, applying
+    #    GCMR recomputation and checkpoint balancing whenever memory gets tight.
+    scheduler = CentralScheduler(wafer)
+    best = scheduler.best(workload)
+    print(f"\nWATOS best plan: {best.plan.label()}")
+    print(f"  throughput      : {best.result.throughput / 1e12:.0f} TFLOPS")
+    print(f"  iteration time  : {best.result.iteration_time:.2f} s")
+    print(f"  recompute ratio : {best.result.recompute_ratio:.2%}")
+    print(f"  bubble fraction : {best.result.bubble_fraction:.2%}")
+    print(f"  per-stage memory (GB): "
+          f"{[round(m / 1e9, 1) for m in best.result.stage_memory_bytes]}")
+
+
+if __name__ == "__main__":
+    main()

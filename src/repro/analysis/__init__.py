@@ -1,0 +1,21 @@
+"""Metrics and report formatting for the benchmark harness."""
+
+from repro.analysis.metrics import (
+    normalize,
+    normalize_results,
+    speedup,
+    geomean,
+    utilization_heatmap,
+)
+from repro.analysis.reporting import format_table, format_series, Report
+
+__all__ = [
+    "normalize",
+    "normalize_results",
+    "speedup",
+    "geomean",
+    "utilization_heatmap",
+    "format_table",
+    "format_series",
+    "Report",
+]

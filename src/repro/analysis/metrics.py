@@ -1,0 +1,82 @@
+"""Metric helpers: normalisation, speedups and utilisation summaries.
+
+The paper normalises every figure to its lowest-performing configuration (value = 1);
+:func:`normalize` reproduces that convention.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.evaluator import EvaluationResult
+from repro.core.plan import StagePlacement
+
+
+def normalize(values: Mapping[str, float], mode: str = "min") -> Dict[str, float]:
+    """Normalise a dict of values to its minimum ("min") or maximum ("max") entry.
+
+    Entries that are zero, infinite or NaN are kept as 0.0 so OOM configurations remain
+    visible in the reports without breaking the normalisation.
+    """
+    finite = [v for v in values.values() if v > 0 and math.isfinite(v)]
+    if not finite:
+        return {k: 0.0 for k in values}
+    reference = min(finite) if mode == "min" else max(finite)
+    out: Dict[str, float] = {}
+    for key, value in values.items():
+        if value <= 0 or not math.isfinite(value):
+            out[key] = 0.0
+        else:
+            out[key] = value / reference
+    return out
+
+
+def normalize_results(
+    results: Mapping[str, EvaluationResult], metric: str = "throughput"
+) -> Dict[str, float]:
+    """Normalise a dict of evaluation results by throughput or iteration time."""
+    if metric == "throughput":
+        values = {k: r.throughput for k, r in results.items()}
+        return normalize(values, mode="min")
+    if metric == "total_throughput":
+        values = {k: r.total_throughput for k, r in results.items()}
+        return normalize(values, mode="min")
+    if metric == "iteration_time":
+        values = {k: r.iteration_time for k, r in results.items()}
+        return normalize(values, mode="min")
+    raise ValueError(f"unknown metric '{metric}'")
+
+
+def speedup(new: float, baseline: float) -> float:
+    """Ratio of ``new`` over ``baseline`` (0 when the baseline is degenerate)."""
+    if baseline <= 0 or not math.isfinite(baseline):
+        return 0.0
+    return new / baseline
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean of the positive finite entries."""
+    positive = [v for v in values if v > 0 and math.isfinite(v)]
+    if not positive:
+        return 0.0
+    log_sum = sum(math.log(v) for v in positive)
+    return math.exp(log_sum / len(positive))
+
+
+def utilization_heatmap(
+    placement: StagePlacement,
+    stage_memory_bytes: Sequence[float],
+    capacity_bytes: float,
+    dies_x: int,
+    dies_y: int,
+) -> List[List[float]]:
+    """A dies_y × dies_x grid of per-die DRAM utilisation (Fig. 17a style heatmap)."""
+    if capacity_bytes <= 0:
+        raise ValueError("capacity must be positive")
+    grid = [[0.0 for _ in range(dies_x)] for _ in range(dies_y)]
+    for stage in range(placement.num_stages):
+        utilisation = min(1.0, stage_memory_bytes[stage] / capacity_bytes)
+        for (x, y) in placement.dies(stage):
+            grid[y][x] = utilisation
+    return grid

@@ -1,0 +1,77 @@
+"""Plain-text report formatting used by the benchmark harness.
+
+The benchmarks print the same rows / series the paper's figures plot; these helpers keep
+that output consistent and readable in a terminal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+
+def format_table(
+    title: str,
+    rows: Mapping[str, Mapping[str, float]],
+    columns: Optional[Sequence[str]] = None,
+    precision: int = 3,
+) -> str:
+    """Format a dict-of-dicts as an aligned text table.
+
+    ``rows`` maps row label → {column label → value}.
+    """
+    if not rows:
+        return f"{title}\n(no data)"
+    if columns is None:
+        columns = sorted({c for row in rows.values() for c in row})
+    header = ["config"] + list(columns)
+    body: List[List[str]] = []
+    for label, row in rows.items():
+        body.append([label] + [
+            f"{row[c]:.{precision}f}" if c in row and row[c] is not None else "-"
+            for c in columns
+        ])
+    widths = [max(len(str(line[i])) for line in [header] + body) for i in range(len(header))]
+    lines = [title, "-" * len(title)]
+    lines.append("  ".join(str(header[i]).ljust(widths[i]) for i in range(len(header))))
+    for line in body:
+        lines.append("  ".join(str(line[i]).ljust(widths[i]) for i in range(len(header))))
+    return "\n".join(lines)
+
+
+def format_series(title: str, series: Mapping[str, Sequence[float]], precision: int = 3) -> str:
+    """Format named numeric series (e.g. GA convergence curves) as text."""
+    lines = [title, "-" * len(title)]
+    for name, values in series.items():
+        formatted = ", ".join(f"{v:.{precision}f}" for v in values)
+        lines.append(f"{name}: [{formatted}]")
+    return "\n".join(lines)
+
+
+@dataclass
+class Report:
+    """Accumulates named sections and renders them as one text document."""
+
+    title: str
+    sections: List[str] = field(default_factory=list)
+
+    def add_table(
+        self,
+        name: str,
+        rows: Mapping[str, Mapping[str, float]],
+        columns: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.sections.append(format_table(name, rows, columns))
+
+    def add_series(self, name: str, series: Mapping[str, Sequence[float]]) -> None:
+        self.sections.append(format_series(name, series))
+
+    def add_text(self, text: str) -> None:
+        self.sections.append(text)
+
+    def render(self) -> str:
+        banner = "=" * len(self.title)
+        return "\n\n".join([f"{banner}\n{self.title}\n{banner}"] + self.sections)
+
+    def __str__(self) -> str:
+        return self.render()

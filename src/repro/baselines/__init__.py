@@ -1,0 +1,15 @@
+"""Baseline systems and strategies: GPU clusters, Megatron-on-wafer, Cerebras and the
+prior DSE frameworks of Fig. 20."""
+
+from repro.baselines.gpu_system import GpuEvaluator, megatron_gpu_result
+from repro.baselines.wafer_strategies import megatron_wafer_plan, cerebras_wafer_result
+from repro.baselines.dse_frameworks import DSE_FRAMEWORKS, evaluate_dse_framework
+
+__all__ = [
+    "GpuEvaluator",
+    "megatron_gpu_result",
+    "megatron_wafer_plan",
+    "cerebras_wafer_result",
+    "DSE_FRAMEWORKS",
+    "evaluate_dse_framework",
+]

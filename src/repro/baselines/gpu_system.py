@@ -1,0 +1,209 @@
+"""GPU-cluster baseline: Megatron-LM on DGX / NVL72 systems (MG-GPU in the paper).
+
+The GPU system differs from the wafer in two ways that matter for the cost model: the
+intra-node interconnect is an all-to-all NVSwitch fabric (every collective sees the full
+NVLink bandwidth regardless of group shape), and scaling beyond a node drops to the much
+slower inter-node fabric.  Compute and HBM are priced with the same roofline predictor as
+the wafer by wrapping the GPU in a synthetic :class:`DieConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.evaluator import EvaluationResult
+from repro.hardware.configs import GpuSystemConfig, dgx_b300_node
+from repro.hardware.template import ComputeDieConfig, CoreConfig, DieConfig, DramChipletConfig
+from repro.interconnect.alphabeta import AlphaBetaLink
+from repro.interconnect.collectives import CollectiveModel
+from repro.parallelism.megatron import megatron_parallelism
+from repro.parallelism.pipeline import PipelineCostInputs, simulate_1f1b
+from repro.parallelism.strategies import ParallelismConfig
+from repro.predictor.analytical import AnalyticalPredictor
+from repro.predictor.lookup import OperatorProfileTable
+from repro.units import FP16_BYTES
+from repro.workloads.memory import TrainingMemoryModel
+from repro.workloads.transformer import build_layer_graph, embedding_operator
+from repro.workloads.workload import TrainingWorkload
+
+
+def _gpu_as_die(system: GpuSystemConfig) -> DieConfig:
+    """Wrap one GPU in the die abstraction so the operator predictor can price it."""
+    gpu = system.gpu
+    compute = ComputeDieConfig(
+        core_rows=16,
+        core_cols=16,
+        core=CoreConfig(flops_fp16=gpu.flops_fp16 / 256.0, sram_bytes=50 * 1024 * 1024 / 256.0),
+        width_mm=26.0,
+        height_mm=30.0,
+        edge_io_bandwidth=gpu.nvlink_bandwidth,
+    )
+    chiplet = DramChipletConfig(
+        capacity_bytes=gpu.hbm_capacity / 8.0,
+        bandwidth=gpu.hbm_bandwidth / 8.0,
+        interface_bandwidth=gpu.hbm_bandwidth / 8.0,
+    )
+    return DieConfig(
+        compute=compute,
+        dram_chiplet=chiplet,
+        num_dram_chiplets=8,
+        d2d_bandwidth=gpu.nvlink_bandwidth,
+        d2d_latency=gpu.nvlink_latency,
+    )
+
+
+class GpuEvaluator:
+    """Prices Megatron-style training plans on a GPU cluster."""
+
+    def __init__(self, system: Optional[GpuSystemConfig] = None) -> None:
+        self.system = system or dgx_b300_node()
+        self._die = _gpu_as_die(self.system)
+        self.profile = OperatorProfileTable(AnalyticalPredictor(self._die), self._die)
+
+    # ------------------------------------------------------------------ collectives
+    def _tp_collective(self, tp: int) -> CollectiveModel:
+        gpu = self.system.gpu
+        return CollectiveModel(AlphaBetaLink(gpu.nvlink_bandwidth, gpu.nvlink_latency), tp)
+
+    def _dp_collective(self, dp: int, spans_nodes: bool) -> CollectiveModel:
+        if spans_nodes:
+            link = AlphaBetaLink(self.system.inter_node_bandwidth, self.system.inter_node_latency)
+        else:
+            gpu = self.system.gpu
+            link = AlphaBetaLink(gpu.nvlink_bandwidth, gpu.nvlink_latency)
+        return CollectiveModel(link, dp)
+
+    # ------------------------------------------------------------------ evaluation
+    def evaluate(
+        self,
+        workload: TrainingWorkload,
+        parallelism: Optional[ParallelismConfig] = None,
+    ) -> EvaluationResult:
+        """Iteration time and throughput of Megatron on the GPU system."""
+        if parallelism is None:
+            parallelism = megatron_parallelism(
+                workload.model,
+                self.system.num_gpus,
+                self.system.gpu.hbm_capacity,
+                global_batch_size=workload.global_batch_size,
+            )
+        tp, pp, dp = parallelism.tp, parallelism.pp, parallelism.dp
+        if parallelism.world_size > self.system.num_gpus:
+            raise ValueError("parallelism exceeds the number of GPUs in the system")
+        num_microbatches = workload.num_microbatches(dp)
+
+        memory = TrainingMemoryModel(workload.model)
+        layers = memory.layers_per_stage(pp)
+        operators = build_layer_graph(workload.model, workload.micro_batch_size, workload.seq_len)
+
+        # Out-of-memory check with full activation checkpointing; Megatron falls back to
+        # full recomputation (selective recompute of everything recomputable) when needed.
+        recompute_needed = any(
+            memory.stage_breakdown(
+                s, pp, tp, workload.micro_batch_size, workload.seq_len, num_microbatches
+            ).total_bytes
+            > self.system.gpu.hbm_capacity
+            for s in range(pp)
+        )
+        recompute_fraction = 0.85 if recompute_needed else 0.0
+        if recompute_needed:
+            still_oom = any(
+                memory.stage_breakdown(
+                    s, pp, tp, workload.micro_batch_size, workload.seq_len,
+                    num_microbatches, recompute_fraction=recompute_fraction,
+                ).total_bytes
+                > self.system.gpu.hbm_capacity
+                for s in range(pp)
+            )
+            if still_oom:
+                return EvaluationResult.out_of_memory(parallelism.label(), self.system.name)
+
+        collective = self._tp_collective(tp)
+        forward: List[float] = []
+        backward: List[float] = []
+        useful_flops = 0.0
+        recompute_flops = 0.0
+        tp_comm_total = 0.0
+        for stage in range(pp):
+            fwd_compute = 0.0
+            comm = 0.0
+            for op in operators:
+                sharded = op.sharded(tp)
+                fwd_compute += self.profile.latency(sharded)
+                if op.tp_allreduce_bytes > 0 and tp > 1:
+                    comm += collective.ring_all_reduce(op.tp_allreduce_bytes, bidirectional=True)
+            fwd = layers[stage] * (fwd_compute + comm)
+            bwd = layers[stage] * (2.0 * fwd_compute + comm)
+            if recompute_needed:
+                recomputed = layers[stage] * fwd_compute * recompute_fraction
+                bwd += recomputed
+                recompute_flops += (
+                    recompute_fraction
+                    * layers[stage]
+                    * sum(op.flops for op in operators)
+                    * num_microbatches
+                )
+            if stage in (0, pp - 1):
+                embed = embedding_operator(
+                    workload.model, workload.micro_batch_size, workload.seq_len
+                ).sharded(tp)
+                fwd += self.profile.latency(embed)
+                bwd += 2.0 * self.profile.latency(embed)
+            forward.append(fwd)
+            backward.append(bwd)
+            tp_comm_total += layers[stage] * comm * 3.0 * num_microbatches
+            useful_flops += (
+                3.0 * layers[stage] * sum(op.flops for op in operators) * num_microbatches
+            )
+
+        activation_bytes = (
+            workload.micro_batch_size * workload.seq_len * workload.model.hidden_size * FP16_BYTES
+        )
+        boundary = [
+            self.system.gpu.nvlink_latency + activation_bytes / self.system.gpu.nvlink_bandwidth
+        ] * max(0, pp - 1)
+
+        pipeline = simulate_1f1b(
+            PipelineCostInputs(
+                forward=forward,
+                backward=backward,
+                comm=boundary,
+                num_microbatches=num_microbatches,
+            )
+        )
+        iteration_time = pipeline.iteration_time
+
+        if dp > 1:
+            spans_nodes = parallelism.world_size > self.system.gpus_per_node
+            grad_bytes = workload.model.num_parameters * FP16_BYTES / (tp * pp)
+            iteration_time += self._dp_collective(dp, spans_nodes).ring_all_reduce(
+                grad_bytes, bidirectional=True
+            )
+
+        compute_util = 0.0
+        if iteration_time > 0:
+            compute_util = (useful_flops + recompute_flops) / (
+                self.system.gpu.flops_fp16 * parallelism.world_size * iteration_time
+            )
+
+        return EvaluationResult(
+            iteration_time=iteration_time,
+            useful_flops=useful_flops,
+            recompute_flops=recompute_flops,
+            oom=False,
+            bubble_fraction=pipeline.bubble_fraction,
+            tp_comm_time=tp_comm_total,
+            pp_comm_time=sum(boundary) * num_microbatches,
+            compute_utilization=min(1.0, compute_util),
+            plan_label=parallelism.label(),
+            system_label=self.system.name,
+        )
+
+
+def megatron_gpu_result(
+    workload: TrainingWorkload, system: Optional[GpuSystemConfig] = None
+) -> EvaluationResult:
+    """Convenience wrapper: Megatron's own parallelism choice on the GPU system."""
+    evaluator = GpuEvaluator(system)
+    return evaluator.evaluate(workload)

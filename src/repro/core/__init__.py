@@ -1,0 +1,49 @@
+"""The WATOS co-exploration engine (Fig. 9): schedulers, engines, optimizer, evaluator."""
+
+from repro.core.plan import (
+    MemPair,
+    RecomputeConfig,
+    StagePlacement,
+    TrainingPlan,
+)
+from repro.core.evaluator import Evaluator, EvaluationResult
+from repro.core.tp_engine import TPEngine, StageTimes
+from repro.core.pp_engine import PPEngine, InterStageCommPlan
+from repro.core.central_scheduler import CentralScheduler, ExplorationRecord
+from repro.core.recomputation import GcmrScheduler, GcmrPlan
+from repro.core.placement import PlacementOptimizer, serpentine_placement, global_cost
+from repro.core.dram_allocation import DramAllocator, DramAllocation
+from repro.core.genetic import GeneticOptimizer, GAConfig, GAResult
+from repro.core.framework import Watos, WatosResult
+from repro.core.robustness import RobustnessEvaluator
+from repro.core.hardware_dse import DieGranularityDse, DieDesignPoint
+
+__all__ = [
+    "MemPair",
+    "RecomputeConfig",
+    "StagePlacement",
+    "TrainingPlan",
+    "Evaluator",
+    "EvaluationResult",
+    "TPEngine",
+    "StageTimes",
+    "PPEngine",
+    "InterStageCommPlan",
+    "CentralScheduler",
+    "ExplorationRecord",
+    "GcmrScheduler",
+    "GcmrPlan",
+    "PlacementOptimizer",
+    "serpentine_placement",
+    "global_cost",
+    "DramAllocator",
+    "DramAllocation",
+    "GeneticOptimizer",
+    "GAConfig",
+    "GAResult",
+    "Watos",
+    "WatosResult",
+    "RobustnessEvaluator",
+    "DieGranularityDse",
+    "DieDesignPoint",
+]

@@ -1,0 +1,320 @@
+"""End-to-end evaluator (the extended Astra-sim of paper §IV-F).
+
+Given a wafer configuration, a training workload and a :class:`TrainingPlan`, the
+evaluator prices one training iteration:
+
+1. the memory model checks whether every stage's modelP + retained checkpoints (after
+   recomputation and Sender→Helper balancing) fits the per-die DRAM;
+2. the TP engine prices each stage's per-micro-batch forward/backward/recompute time;
+3. the PP engine routes inter-stage and balancing traffic on the mesh;
+4. the 1F1B simulator turns per-stage times and boundary delays into an iteration
+   makespan;
+5. utilisation and throughput metrics are derived from the makespan.
+
+A plan that does not fit memory is returned with ``oom=True`` and an infinite iteration
+time so that searchers can still rank it (and prune it).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.plan import MemPair, RecomputeConfig, StagePlacement, TrainingPlan
+from repro.core.pp_engine import InterStageCommPlan, PPEngine
+from repro.core.tp_engine import StageTimes, TPEngine
+from repro.core.placement import serpentine_placement
+from repro.hardware.faults import FaultModel
+from repro.hardware.template import WaferConfig
+from repro.interconnect.collectives import CollectiveAlgorithm, CollectiveModel
+from repro.interconnect.alphabeta import AlphaBetaLink
+from repro.interconnect.topology import MeshTopology
+from repro.parallelism.pipeline import PipelineCostInputs, simulate_1f1b
+from repro.predictor.lookup import OperatorPredictor
+from repro.workloads.memory import TrainingMemoryModel
+from repro.workloads.workload import TrainingWorkload
+
+Coord = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """Outcome of evaluating one training plan on one system."""
+
+    iteration_time: float
+    useful_flops: float
+    recompute_flops: float
+    oom: bool = False
+    bubble_fraction: float = 0.0
+    tp_comm_time: float = 0.0
+    pp_comm_time: float = 0.0
+    balance_exposed_time: float = 0.0
+    stage_memory_bytes: Tuple[float, ...] = ()
+    dram_utilization: float = 0.0
+    d2d_utilization: float = 0.0
+    compute_utilization: float = 0.0
+    plan_label: str = ""
+    system_label: str = ""
+
+    @property
+    def throughput(self) -> float:
+        """Useful FLOP/s delivered (excludes recomputation work)."""
+        if self.oom or self.iteration_time == 0 or math.isinf(self.iteration_time):
+            return 0.0
+        return self.useful_flops / self.iteration_time
+
+    @property
+    def total_throughput(self) -> float:
+        """FLOP/s including recomputation (the paper's "Recomp Throughput" bars)."""
+        if self.oom or self.iteration_time == 0 or math.isinf(self.iteration_time):
+            return 0.0
+        return (self.useful_flops + self.recompute_flops) / self.iteration_time
+
+    @property
+    def recompute_ratio(self) -> float:
+        """Share of executed FLOPs that are recomputation."""
+        total = self.useful_flops + self.recompute_flops
+        return self.recompute_flops / total if total else 0.0
+
+    @classmethod
+    def out_of_memory(cls, plan_label: str = "", system_label: str = "") -> "EvaluationResult":
+        return cls(
+            iteration_time=float("inf"),
+            useful_flops=0.0,
+            recompute_flops=0.0,
+            oom=True,
+            plan_label=plan_label,
+            system_label=system_label,
+        )
+
+
+class Evaluator:
+    """Prices training plans on a wafer configuration."""
+
+    #: Host-offloading (Fig. 6b) moves evicted checkpoints over the host link; only this
+    #: fraction of the transfer can be hidden behind compute.
+    OFFLOAD_OVERLAP = 0.3
+
+    def __init__(
+        self,
+        wafer: WaferConfig,
+        predictor: Optional[OperatorPredictor] = None,
+        faults: Optional[FaultModel] = None,
+        fault_aware: bool = True,
+    ) -> None:
+        self.wafer = wafer
+        self.faults = faults or FaultModel()
+        self.fault_aware = fault_aware
+        self.mesh = MeshTopology.from_wafer(wafer, self.faults)
+        self._predictor = predictor
+        self._tp_engines: Dict[Tuple, TPEngine] = {}
+
+    # ------------------------------------------------------------------ helpers
+    def _tp_engine(self, plan: TrainingPlan) -> TPEngine:
+        key = (plan.collective, plan.split_strategy)
+        engine = self._tp_engines.get(key)
+        if engine is None:
+            engine = TPEngine(
+                self.wafer,
+                predictor=self._predictor,
+                collective=plan.collective,
+                split_strategy=plan.split_strategy,
+            )
+            self._tp_engines[key] = engine
+        return engine
+
+    def default_placement(self, plan: TrainingPlan) -> StagePlacement:
+        """Serpentine placement used when a plan does not specify one."""
+        return serpentine_placement(
+            self.wafer.dies_x, self.wafer.dies_y, plan.tp_shape, plan.parallelism.pp
+        )
+
+    def _stage_hardware(self, placement: StagePlacement, stage: int) -> Tuple[float, float]:
+        """(compute throughput, link quality) of a stage's dies under the fault model."""
+        if self.faults.is_empty:
+            return 1.0, 1.0
+        dies = placement.dies(stage)
+        throughputs = [self.faults.die_throughput(d) for d in dies]
+        if not self.fault_aware:
+            # The non-robust baseline keeps its static work split, so the slowest die
+            # gates the stage; a dead die stalls it almost completely.
+            worst = min(throughputs)
+            compute = max(worst, 0.05)
+        else:
+            # The robust scheduler rebalances work across healthy dies.
+            avg = sum(throughputs) / len(throughputs)
+            compute = max(avg, 0.05)
+        qualities = []
+        for die in dies:
+            for neighbor in self.mesh.neighbors(die):
+                qualities.append(self.faults.link_quality((die, neighbor)))
+        if not qualities:
+            link = 1.0
+        elif self.fault_aware:
+            healthy = [q for q in qualities if q > 0.0]
+            link = (sum(healthy) / len(healthy)) if healthy else 0.05
+        else:
+            link = max(min(qualities), 0.05)
+        return compute, max(link, 0.05)
+
+    # ------------------------------------------------------------------ memory
+    def stage_memory(
+        self,
+        workload: TrainingWorkload,
+        plan: TrainingPlan,
+        num_microbatches: int,
+    ) -> List[float]:
+        """Per-die memory footprint of every stage after recomputation and balancing."""
+        memory = TrainingMemoryModel(workload.model)
+        pp, tp = plan.parallelism.pp, plan.parallelism.tp
+        operators = workload.layer_operators()
+        recompute = plan.recompute if plan.recompute.num_stages == pp else RecomputeConfig.none(pp)
+        fractions = [recompute.recompute_fraction(s, operators) for s in range(pp)]
+        breakdown = memory.pipeline_breakdown(
+            pp,
+            tp,
+            workload.micro_batch_size,
+            workload.seq_len,
+            num_microbatches,
+            fractions,
+        )
+        footprints = [stage.total_bytes for stage in breakdown]
+        # Mem_pair volumes are expressed per die of the stage (the same unit as the
+        # footprints), so they shift directly between Sender and Helper stages.
+        for pair in plan.mem_pairs:
+            footprints[pair.sender_stage] -= pair.bytes_moved
+            footprints[pair.helper_stage] += pair.bytes_moved
+        return footprints
+
+    # ------------------------------------------------------------------ evaluation
+    def evaluate(self, workload: TrainingWorkload, plan: TrainingPlan) -> EvaluationResult:
+        """Price one training iteration of ``workload`` under ``plan``."""
+        parallelism = plan.parallelism
+        tp, pp, dp = parallelism.tp, parallelism.pp, parallelism.dp
+        if parallelism.world_size > self.wafer.num_dies:
+            raise ValueError(
+                f"plan needs {parallelism.world_size} dies but the wafer has "
+                f"{self.wafer.num_dies}"
+            )
+        num_microbatches = workload.num_microbatches(dp)
+        placement = plan.placement or self.default_placement(plan)
+
+        # ---------------------------------------------------------------- memory check
+        footprints = self.stage_memory(workload, plan, num_microbatches)
+        capacity = self.wafer.die.dram_capacity
+        memory_model = TrainingMemoryModel(workload.model)
+        offload_traffic_bytes = 0.0
+        if plan.offload_to_host:
+            # Evicted checkpoints cross the host link twice per micro-batch (write on the
+            # forward pass, read back for the backward pass).
+            for stage, footprint in enumerate(footprints):
+                overflow = max(0.0, footprint - capacity)
+                if overflow == 0.0:
+                    continue
+                retained = memory_model.retained_microbatches(stage, pp, num_microbatches)
+                offload_traffic_bytes += 2.0 * overflow / max(1, retained) * num_microbatches
+            footprints = [min(f, capacity) for f in footprints]
+        oom = any(f > capacity * 1.001 for f in footprints)
+        if oom:
+            return EvaluationResult.out_of_memory(plan.label(), self.wafer.name)
+
+        # ---------------------------------------------------------------- stage times
+        engine = self._tp_engine(plan)
+        memory = TrainingMemoryModel(workload.model)
+        layers = memory.layers_per_stage(pp)
+        operators = workload.layer_operators()
+        recompute = plan.recompute if plan.recompute.num_stages == pp else RecomputeConfig.none(pp)
+
+        forward: List[float] = []
+        backward: List[float] = []
+        tp_comm_total = 0.0
+        useful_flops = 0.0
+        recompute_flops = 0.0
+        for stage in range(pp):
+            compute_q, link_q = self._stage_hardware(placement, stage)
+            times = engine.stage_times(
+                workload,
+                stage,
+                layers[stage],
+                tp,
+                pp,
+                recomputed_ops=recompute.stage(stage),
+                link_quality=link_q,
+                compute_throughput=compute_q,
+            )
+            forward.append(times.forward)
+            backward.append(times.backward_total)
+            tp_comm_total += times.tp_comm * 3.0 * num_microbatches
+            stage_fwd_flops = engine.stage_forward_flops(workload, stage, layers[stage], pp)
+            useful_flops += 3.0 * stage_fwd_flops * num_microbatches
+            recompute_flops += (
+                recompute.extra_forward_flops(stage, operators)
+                * layers[stage]
+                * num_microbatches
+            )
+
+        # ---------------------------------------------------------------- inter-stage comm
+        pp_engine = PPEngine(self.mesh)
+        activation_bytes = PPEngine.activation_bytes(workload)
+        microbatch_dram_time = activation_bytes / self.wafer.die.dram_bandwidth
+        comm_plan = pp_engine.plan(
+            placement,
+            activation_bytes,
+            mem_pairs=plan.mem_pairs,
+            microbatch_dram_time=microbatch_dram_time,
+        )
+        boundary_times = list(comm_plan.boundary_times) or [0.0] * max(0, pp - 1)
+
+        # ---------------------------------------------------------------- pipeline makespan
+        pipeline = simulate_1f1b(
+            PipelineCostInputs(
+                forward=forward,
+                backward=backward,
+                comm=boundary_times,
+                num_microbatches=num_microbatches,
+            )
+        )
+        iteration_time = pipeline.iteration_time
+        iteration_time += comm_plan.balance_exposed_time
+
+        # Data-parallel gradient all-reduce (only when DP > 1 on the wafer).
+        if dp > 1:
+            link = AlphaBetaLink(self.wafer.die.d2d_link_bandwidth, self.wafer.die.d2d_latency)
+            grad_bytes = workload.model.num_parameters * 2.0 / (tp * pp)
+            iteration_time += CollectiveModel(link, dp).ring_all_reduce(
+                grad_bytes, bidirectional=True
+            )
+
+        # Host offloading penalty (Fig. 6b): evicted checkpoints cross the host link for
+        # every micro-batch, and most of the transfer is exposed.
+        if plan.offload_to_host and offload_traffic_bytes > 0:
+            transfer = offload_traffic_bytes / self.wafer.host_bandwidth
+            iteration_time += transfer * (1.0 - self.OFFLOAD_OVERLAP)
+
+        # ---------------------------------------------------------------- utilisation
+        busy_dies = tp * pp * dp
+        compute_util = 0.0
+        if iteration_time > 0 and not math.isinf(iteration_time):
+            compute_util = (useful_flops + recompute_flops) / (
+                self.wafer.die.flops_fp16 * busy_dies * iteration_time
+            )
+        dram_util = sum(min(f, capacity) for f in footprints) / (capacity * pp)
+        d2d_util = comm_plan.link_utilization
+
+        return EvaluationResult(
+            iteration_time=iteration_time,
+            useful_flops=useful_flops,
+            recompute_flops=recompute_flops,
+            oom=False,
+            bubble_fraction=pipeline.bubble_fraction,
+            tp_comm_time=tp_comm_total,
+            pp_comm_time=sum(boundary_times) * num_microbatches,
+            balance_exposed_time=comm_plan.balance_exposed_time,
+            stage_memory_bytes=tuple(footprints),
+            dram_utilization=min(1.0, dram_util),
+            d2d_utilization=d2d_util,
+            compute_utilization=min(1.0, compute_util),
+            plan_label=plan.label(),
+            system_label=self.wafer.name,
+        )

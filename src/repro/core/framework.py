@@ -1,0 +1,170 @@
+"""The WATOS framework front-end (paper Fig. 9).
+
+``Watos`` ties the pieces together: the enumerator (or an explicit candidate list)
+produces wafer configurations, the central scheduler + GCMR + memory scheduler produce a
+strong deterministic plan per (wafer, workload) pair, and the GA-based global optimizer
+refines it.  The result object carries the best architecture, the mapping scheme
+(training plan) and performance reports for every explored point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.central_scheduler import CentralScheduler, ExplorationRecord
+from repro.core.evaluator import EvaluationResult, Evaluator
+from repro.core.genetic import GAConfig, GAResult, GeneticOptimizer
+from repro.core.plan import TrainingPlan
+from repro.hardware.enumerator import ArchitectureEnumerator
+from repro.hardware.template import WaferConfig
+from repro.interconnect.collectives import CollectiveAlgorithm
+from repro.parallelism.partition import TPSplitStrategy
+from repro.workloads.workload import TrainingWorkload
+
+
+@dataclass(frozen=True)
+class WorkloadOutcome:
+    """Best plan and result found for one workload on one wafer configuration."""
+
+    wafer: WaferConfig
+    workload: TrainingWorkload
+    plan: TrainingPlan
+    result: EvaluationResult
+    ga_history: Tuple[float, ...] = ()
+
+    @property
+    def throughput(self) -> float:
+        return self.result.throughput
+
+
+@dataclass
+class WatosResult:
+    """Everything the co-exploration produced."""
+
+    outcomes: List[WorkloadOutcome] = field(default_factory=list)
+    exploration_records: Dict[str, List[ExplorationRecord]] = field(default_factory=dict)
+
+    def outcomes_for_wafer(self, wafer_name: str) -> List[WorkloadOutcome]:
+        return [o for o in self.outcomes if o.wafer.name == wafer_name]
+
+    def outcomes_for_workload(self, model_name: str) -> List[WorkloadOutcome]:
+        return [o for o in self.outcomes if o.workload.model.name == model_name]
+
+    def best_wafer(self) -> Optional[str]:
+        """The wafer with the highest geometric-mean throughput across workloads."""
+        by_wafer: Dict[str, List[float]] = {}
+        for outcome in self.outcomes:
+            by_wafer.setdefault(outcome.wafer.name, []).append(outcome.throughput)
+        if not by_wafer:
+            return None
+
+        def geomean(values: List[float]) -> float:
+            positive = [v for v in values if v > 0]
+            if not positive:
+                return 0.0
+            product = 1.0
+            for v in positive:
+                product *= v
+            return product ** (1.0 / len(positive))
+
+        return max(by_wafer, key=lambda name: geomean(by_wafer[name]))
+
+    def best_outcome(self, model_name: str) -> Optional[WorkloadOutcome]:
+        outcomes = self.outcomes_for_workload(model_name)
+        if not outcomes:
+            return None
+        return max(outcomes, key=lambda o: o.throughput)
+
+
+class Watos:
+    """Co-exploration of wafer-scale architecture and LLM training strategy."""
+
+    def __init__(
+        self,
+        candidates: Optional[Sequence[WaferConfig]] = None,
+        enumerator: Optional[ArchitectureEnumerator] = None,
+        use_ga: bool = True,
+        ga_config: Optional[GAConfig] = None,
+        collective: CollectiveAlgorithm = CollectiveAlgorithm.BIDIRECTIONAL_RING,
+        split_strategies: Sequence[TPSplitStrategy] = (TPSplitStrategy.HIDDEN,),
+        max_tp: int = 0,
+    ) -> None:
+        if candidates is None and enumerator is None:
+            enumerator = ArchitectureEnumerator()
+        self.candidates = list(candidates) if candidates is not None else enumerator.enumerate()
+        if not self.candidates:
+            raise ValueError("no feasible wafer configurations to explore")
+        self.use_ga = use_ga
+        self.ga_config = ga_config or GAConfig(population_size=10, generations=12)
+        self.collective = collective
+        self.split_strategies = tuple(split_strategies)
+        self.max_tp = max_tp
+
+    # ------------------------------------------------------------------ single point
+    def optimize(
+        self, wafer: WaferConfig, workload: TrainingWorkload
+    ) -> Optional[WorkloadOutcome]:
+        """Find the best training plan for one workload on one wafer."""
+        evaluator = Evaluator(wafer)
+        scheduler = CentralScheduler(
+            wafer,
+            evaluator=evaluator,
+            collective=self.collective,
+            split_strategies=self.split_strategies,
+            max_tp=self.max_tp,
+        )
+        best = scheduler.best(workload)
+        if best is None:
+            return None
+        plan, result = best.plan, best.result
+        ga_history: Tuple[float, ...] = ()
+        if self.use_ga:
+            optimizer = GeneticOptimizer(evaluator, workload, self.ga_config)
+            ga_result = optimizer.optimize(plan)
+            if ga_result.best_result.throughput >= result.throughput:
+                plan, result = ga_result.best_plan, ga_result.best_result
+            ga_history = ga_result.history
+        return WorkloadOutcome(
+            wafer=wafer, workload=workload, plan=plan, result=result, ga_history=ga_history
+        )
+
+    # ------------------------------------------------------------------ full DSE
+    def explore(self, workloads: Sequence[TrainingWorkload]) -> WatosResult:
+        """Run the co-exploration over every candidate wafer and every workload."""
+        result = WatosResult()
+        for wafer in self.candidates:
+            evaluator = Evaluator(wafer)
+            scheduler = CentralScheduler(
+                wafer,
+                evaluator=evaluator,
+                collective=self.collective,
+                split_strategies=self.split_strategies,
+                max_tp=self.max_tp,
+            )
+            for workload in workloads:
+                records = scheduler.explore(workload)
+                key = f"{wafer.name}/{workload.model.name}"
+                result.exploration_records[key] = records
+                feasible = [r for r in records if not r.result.oom]
+                if not feasible:
+                    continue
+                best = max(feasible, key=lambda r: r.result.throughput)
+                plan, best_result = best.plan, best.result
+                ga_history: Tuple[float, ...] = ()
+                if self.use_ga:
+                    optimizer = GeneticOptimizer(evaluator, workload, self.ga_config)
+                    ga_outcome = optimizer.optimize(plan)
+                    if ga_outcome.best_result.throughput >= best_result.throughput:
+                        plan, best_result = ga_outcome.best_plan, ga_outcome.best_result
+                    ga_history = ga_outcome.history
+                result.outcomes.append(
+                    WorkloadOutcome(
+                        wafer=wafer,
+                        workload=workload,
+                        plan=plan,
+                        result=best_result,
+                        ga_history=ga_history,
+                    )
+                )
+        return result

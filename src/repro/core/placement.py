@@ -1,0 +1,184 @@
+"""Memory scheduler, part 1: spatial location-aware stage placement (paper §IV-C-1, Eq. 2).
+
+The mesh is partitioned into ``pp`` contiguous blocks of ``tp`` dies each.  The baseline
+assigns stages to blocks in the naive left-to-right / top-to-bottom (serpentine) order;
+the optimizer permutes the assignment so that Mem_pair partners end up close together
+while the pipeline path stays short, minimising the GlobalCost of Eq. 2:
+
+    GlobalCost = Σ Dist(S_i, S_{i+1}) · Comm_PP
+               + Σ Dist(S_s, S_h) · Comm_pair · (1 + γ)
+
+where γ counts links the balance path shares with already-placed pipeline paths.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.plan import MemPair, StagePlacement
+from repro.interconnect.routing import LinkLoadTracker, path_links, xy_path
+from repro.interconnect.topology import MeshTopology
+
+Coord = Tuple[int, int]
+
+
+def mesh_blocks(
+    dies_x: int, dies_y: int, tp_shape: Tuple[int, int], num_blocks: int
+) -> List[Tuple[Coord, ...]]:
+    """Tile the mesh with ``num_blocks`` rectangles of ``tp_shape`` dies each.
+
+    Blocks are laid out in serpentine (boustrophedon) order so that consecutive blocks
+    are always adjacent, which is what keeps the pipeline path short.
+    """
+    bx, by = tp_shape
+    if bx <= 0 or by <= 0:
+        raise ValueError("TP shape must be positive")
+    if bx > dies_x or by > dies_y:
+        raise ValueError(f"TP shape {tp_shape} does not fit a {dies_x}x{dies_y} mesh")
+    group_size = bx * by
+    if group_size * num_blocks > dies_x * dies_y:
+        raise ValueError(
+            f"cannot place {num_blocks} blocks of {tp_shape} on a {dies_x}x{dies_y} mesh"
+        )
+    blocks_per_row = dies_x // bx
+    blocks_per_col = dies_y // by
+    if blocks_per_row * blocks_per_col >= num_blocks:
+        blocks: List[Tuple[Coord, ...]] = []
+        for row in range(blocks_per_col):
+            cols = range(blocks_per_row)
+            if row % 2 == 1:
+                cols = reversed(cols)
+            for col in cols:
+                dies = tuple(
+                    (col * bx + dx, row * by + dy) for dy in range(by) for dx in range(bx)
+                )
+                blocks.append(dies)
+                if len(blocks) == num_blocks:
+                    return blocks
+        return blocks
+    # Rectangle tiling cannot host every block (e.g. a 2×2 group on a 7-wide mesh wastes
+    # a column); fall back to chopping the serpentine die order into contiguous groups,
+    # which keeps every group connected even if not perfectly rectangular.
+    serpentine: List[Coord] = []
+    for y in range(dies_y):
+        xs = range(dies_x)
+        if y % 2 == 1:
+            xs = reversed(xs)
+        serpentine.extend((x, y) for x in xs)
+    return [
+        tuple(serpentine[block * group_size:(block + 1) * group_size])
+        for block in range(num_blocks)
+    ]
+
+
+def serpentine_placement(
+    dies_x: int, dies_y: int, tp_shape: Tuple[int, int], pp: int
+) -> StagePlacement:
+    """The naive left-to-right / top-to-bottom placement of Fig. 11a."""
+    blocks = mesh_blocks(dies_x, dies_y, tp_shape, pp)
+    return StagePlacement(stage_dies=tuple(blocks))
+
+
+def global_cost(
+    placement: StagePlacement,
+    mem_pairs: Sequence[MemPair],
+    pipeline_comm: float = 1.0,
+    pair_comm: Optional[Dict[Tuple[int, int], float]] = None,
+) -> float:
+    """Evaluate Eq. 2 for a placement.
+
+    ``pipeline_comm`` weights the pipeline edges; ``pair_comm`` optionally weights each
+    Mem_pair (defaults to the pair's byte volume, or 1.0 when the volume is zero).
+    """
+    pp = placement.num_stages
+    cost = 0.0
+    tracker_links: set = set()
+    for stage in range(pp - 1):
+        src, dst = placement.boundary_dies(stage, stage + 1)
+        path = xy_path(src, dst)
+        tracker_links.update(path_links(path))
+        cost += placement.stage_distance(stage, stage + 1) * pipeline_comm
+
+    for pair in mem_pairs:
+        src, dst = placement.boundary_dies(pair.sender_stage, pair.helper_stage)
+        path = xy_path(src, dst)
+        gamma = sum(1 for link in path_links(path) if link in tracker_links)
+        weight = pair.bytes_moved if pair.bytes_moved > 0 else 1.0
+        if pair_comm is not None:
+            weight = pair_comm.get((pair.sender_stage, pair.helper_stage), weight)
+        cost += placement.stage_distance(pair.sender_stage, pair.helper_stage) * weight * (1 + gamma)
+    return cost
+
+
+@dataclass
+class PlacementOptimizer:
+    """Search over stage→block permutations to minimise GlobalCost.
+
+    For small pipeline depths (≤ ``exhaustive_limit`` stages) the search is exhaustive;
+    beyond that it falls back to a randomised pairwise-swap local search, which matches
+    the role the placement step plays inside the larger GA loop.
+    """
+
+    mesh: MeshTopology
+    exhaustive_limit: int = 7
+    local_search_iterations: int = 400
+    seed: int = 0
+
+    def optimize(
+        self,
+        tp_shape: Tuple[int, int],
+        pp: int,
+        mem_pairs: Sequence[MemPair] = (),
+        pipeline_comm: float = 1.0,
+    ) -> StagePlacement:
+        """The lowest-GlobalCost placement found for the given pipeline and Mem_pairs."""
+        base = serpentine_placement(self.mesh.dies_x, self.mesh.dies_y, tp_shape, pp)
+        if pp <= 2 or not mem_pairs:
+            return base
+        normalised_pairs = self._normalise(mem_pairs)
+        if pp <= self.exhaustive_limit:
+            return self._exhaustive(base, normalised_pairs, pipeline_comm)
+        return self._local_search(base, normalised_pairs, pipeline_comm)
+
+    @staticmethod
+    def _normalise(mem_pairs: Sequence[MemPair]) -> List[MemPair]:
+        total = sum(p.bytes_moved for p in mem_pairs) or 1.0
+        return [
+            MemPair(p.sender_stage, p.helper_stage, p.bytes_moved / total * 10.0)
+            for p in mem_pairs
+        ]
+
+    def _exhaustive(
+        self, base: StagePlacement, mem_pairs: Sequence[MemPair], pipeline_comm: float
+    ) -> StagePlacement:
+        pp = base.num_stages
+        best = base
+        best_cost = global_cost(base, mem_pairs, pipeline_comm)
+        for order in itertools.permutations(range(pp)):
+            candidate = base.permuted(order)
+            cost = global_cost(candidate, mem_pairs, pipeline_comm)
+            if cost < best_cost:
+                best, best_cost = candidate, cost
+        return best
+
+    def _local_search(
+        self, base: StagePlacement, mem_pairs: Sequence[MemPair], pipeline_comm: float
+    ) -> StagePlacement:
+        rng = random.Random(self.seed)
+        pp = base.num_stages
+        order = list(range(pp))
+        best = base
+        best_cost = global_cost(base, mem_pairs, pipeline_comm)
+        for _ in range(self.local_search_iterations):
+            i, j = rng.sample(range(pp), 2)
+            order[i], order[j] = order[j], order[i]
+            candidate = base.permuted(order)
+            cost = global_cost(candidate, mem_pairs, pipeline_comm)
+            if cost < best_cost:
+                best, best_cost = candidate, cost
+            else:
+                order[i], order[j] = order[j], order[i]
+        return best

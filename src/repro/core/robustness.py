@@ -1,0 +1,75 @@
+"""Robustness and reliability evaluation (paper §VI-D, Fig. 22).
+
+WATOS's robust mode localises faults, reschedules work away from degraded dies and
+reroutes traffic around degraded links.  The non-robust baseline keeps its static plan,
+so a degraded or dead die gates its whole stage and a degraded link throttles every
+transfer routed across it.  Both modes are evaluated through the same :class:`Evaluator`
+with its ``fault_aware`` switch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.evaluator import EvaluationResult, Evaluator
+from repro.core.plan import TrainingPlan
+from repro.hardware.faults import FaultModel
+from repro.hardware.template import WaferConfig
+from repro.workloads.workload import TrainingWorkload
+
+
+@dataclass(frozen=True)
+class RobustnessPoint:
+    """Throughput of robust and baseline WATOS at one fault rate."""
+
+    fault_rate: float
+    robust_throughput: float
+    baseline_throughput: float
+
+    @property
+    def improvement(self) -> float:
+        if self.baseline_throughput == 0:
+            return float("inf") if self.robust_throughput > 0 else 1.0
+        return self.robust_throughput / self.baseline_throughput
+
+
+class RobustnessEvaluator:
+    """Sweeps link/die fault rates and compares robust vs non-robust execution."""
+
+    def __init__(self, wafer: WaferConfig, workload: TrainingWorkload, plan: TrainingPlan,
+                 seed: int = 0) -> None:
+        self.wafer = wafer
+        self.workload = workload
+        self.plan = plan
+        self.seed = seed
+
+    def _evaluate(self, faults: FaultModel, fault_aware: bool) -> EvaluationResult:
+        evaluator = Evaluator(self.wafer, faults=faults, fault_aware=fault_aware)
+        return evaluator.evaluate(self.workload, self.plan)
+
+    def point(self, link_fault_rate: float = 0.0, die_fault_rate: float = 0.0) -> RobustnessPoint:
+        """Robust vs baseline throughput at one (link, die) fault-rate pair."""
+        faults = FaultModel.random(
+            self.wafer.dies_x,
+            self.wafer.dies_y,
+            link_fault_rate=link_fault_rate,
+            die_fault_rate=die_fault_rate,
+            seed=self.seed,
+        )
+        robust = self._evaluate(faults, fault_aware=True)
+        baseline = self._evaluate(faults, fault_aware=False)
+        rate = max(link_fault_rate, die_fault_rate)
+        return RobustnessPoint(
+            fault_rate=rate,
+            robust_throughput=robust.throughput,
+            baseline_throughput=baseline.throughput,
+        )
+
+    def sweep_link_faults(self, rates: Sequence[float]) -> List[RobustnessPoint]:
+        """Fig. 22b top: throughput vs link fault rate."""
+        return [self.point(link_fault_rate=rate) for rate in rates]
+
+    def sweep_die_faults(self, rates: Sequence[float]) -> List[RobustnessPoint]:
+        """Fig. 22b bottom: throughput vs die fault rate."""
+        return [self.point(die_fault_rate=rate) for rate in rates]

@@ -1,0 +1,166 @@
+"""TP execution engine (paper §IV-E-1).
+
+The TP engine turns one pipeline stage's layer slice into per-micro-batch forward /
+backward execution times on the dies of the stage's TP group:
+
+* every operator is sharded across the TP group and priced by the operator predictor
+  (roofline of compute vs DRAM traffic with the hybrid dataflow choice);
+* the Megatron-style all-reduces that close row-parallel GEMMs are priced with the
+  selected collective algorithm on the mesh links;
+* operators selected for recomputation add their forward time to the backward pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Sequence
+
+from repro.hardware.template import WaferConfig
+from repro.interconnect.alphabeta import AlphaBetaLink
+from repro.interconnect.collectives import CollectiveAlgorithm, CollectiveModel
+from repro.parallelism.partition import TPSplitStrategy
+from repro.predictor.lookup import OperatorPredictor, OperatorProfileTable
+from repro.predictor.analytical import AnalyticalPredictor
+from repro.workloads.operators import Operator
+from repro.workloads.transformer import build_layer_graph, embedding_operator
+from repro.workloads.workload import TrainingWorkload
+
+
+@dataclass(frozen=True)
+class StageTimes:
+    """Per-micro-batch execution times of one pipeline stage."""
+
+    forward: float
+    backward: float
+    recompute: float
+    tp_comm: float
+
+    @property
+    def backward_total(self) -> float:
+        """Backward time including recomputation and its share of TP communication."""
+        return self.backward + self.recompute
+
+    @property
+    def total(self) -> float:
+        return self.forward + self.backward_total
+
+
+class TPEngine:
+    """Prices intra-stage computation and TP communication for a wafer configuration."""
+
+    def __init__(
+        self,
+        wafer: WaferConfig,
+        predictor: Optional[OperatorPredictor] = None,
+        collective: CollectiveAlgorithm = CollectiveAlgorithm.BIDIRECTIONAL_RING,
+        split_strategy: TPSplitStrategy = TPSplitStrategy.HIDDEN,
+    ) -> None:
+        self.wafer = wafer
+        base_predictor = predictor or AnalyticalPredictor(wafer.die)
+        self.profile = OperatorProfileTable(base_predictor, wafer.die)
+        self.collective = collective
+        self.split_strategy = split_strategy
+
+    # ------------------------------------------------------------------ collectives
+    def _collective_model(self, tp: int, link_quality: float = 1.0) -> CollectiveModel:
+        link = AlphaBetaLink(
+            self.wafer.die.d2d_link_bandwidth * link_quality, self.wafer.die.d2d_latency
+        )
+        return CollectiveModel(link, tp)
+
+    def layer_tp_comm_time(
+        self, operators: Sequence[Operator], tp: int, link_quality: float = 1.0
+    ) -> float:
+        """Forward-pass TP communication time of one layer (all-reduces on activations)."""
+        if tp <= 1:
+            return 0.0
+        model = self._collective_model(tp, link_quality)
+        total = 0.0
+        for op in operators:
+            if op.tp_allreduce_bytes > 0:
+                # Each die contributes its shard; the all-reduce moves the full activation.
+                total += model.all_reduce(op.tp_allreduce_bytes, self.collective)
+            all_to_all = op.metadata.get("all_to_all_bytes", 0.0)
+            if all_to_all:
+                total += model.all_to_all(all_to_all)
+        if self.split_strategy is TPSplitStrategy.SEQUENCE:
+            # Sequence parallelism swaps each all-reduce for all-gather + reduce-scatter
+            # of the same total volume; on a bidirectional ring that is cost-neutral, but
+            # the extra collective start-ups are not.
+            total += sum(1 for op in operators if op.tp_allreduce_bytes > 0) * (
+                2 * self.wafer.die.d2d_latency * (tp - 1)
+            )
+        return total
+
+    # ------------------------------------------------------------------ stage pricing
+    def stage_times(
+        self,
+        workload: TrainingWorkload,
+        stage: int,
+        layers_in_stage: int,
+        tp: int,
+        pp: int,
+        recomputed_ops: FrozenSet[str] = frozenset(),
+        link_quality: float = 1.0,
+        compute_throughput: float = 1.0,
+    ) -> StageTimes:
+        """Per-micro-batch forward/backward/recompute times of one pipeline stage.
+
+        ``link_quality`` and ``compute_throughput`` scale the D2D links / die compute for
+        the fault-tolerance study (§VI-D); both default to healthy hardware.
+        """
+        if layers_in_stage < 0:
+            raise ValueError("layer count cannot be negative")
+        if not 0.0 < compute_throughput <= 1.0:
+            raise ValueError("compute throughput fraction must be within (0, 1]")
+        operators = build_layer_graph(
+            workload.model, workload.micro_batch_size, workload.seq_len
+        )
+
+        fwd_compute = 0.0
+        recompute_time = 0.0
+        for op in operators:
+            sharded = op.sharded(tp)
+            latency = self.profile.latency(sharded) / compute_throughput
+            fwd_compute += latency
+            if op.name in recomputed_ops:
+                recompute_time += latency
+        tp_comm = self.layer_tp_comm_time(operators, tp, link_quality)
+
+        fwd_layer = fwd_compute + tp_comm
+        bwd_layer = 2.0 * fwd_compute + tp_comm
+        recompute_layer = recompute_time
+
+        forward = layers_in_stage * fwd_layer
+        backward = layers_in_stage * bwd_layer
+        recompute = layers_in_stage * recompute_layer
+
+        # Embedding / output head on the edge stages.
+        if stage == 0 or stage == pp - 1:
+            embed = embedding_operator(
+                workload.model, workload.micro_batch_size, workload.seq_len
+            ).sharded(tp)
+            embed_time = self.profile.latency(embed) / compute_throughput
+            forward += embed_time
+            backward += 2.0 * embed_time
+
+        return StageTimes(
+            forward=forward,
+            backward=backward,
+            recompute=recompute,
+            tp_comm=(layers_in_stage * tp_comm),
+        )
+
+    def stage_forward_flops(
+        self, workload: TrainingWorkload, stage: int, layers_in_stage: int, pp: int
+    ) -> float:
+        """Unsharded forward FLOPs of one stage for one micro-batch (for utilisation)."""
+        operators = build_layer_graph(
+            workload.model, workload.micro_batch_size, workload.seq_len
+        )
+        flops = layers_in_stage * sum(op.flops for op in operators)
+        if stage == 0 or stage == pp - 1:
+            flops += embedding_operator(
+                workload.model, workload.micro_batch_size, workload.seq_len
+            ).flops
+        return flops

@@ -1,0 +1,39 @@
+"""Configurable wafer-scale hardware template, area accounting and configuration presets."""
+
+from repro.hardware.template import (
+    CoreConfig,
+    ComputeDieConfig,
+    DramChipletConfig,
+    DieConfig,
+    WaferConfig,
+)
+from repro.hardware.area import AreaModel, AreaBudgetError
+from repro.hardware.configs import (
+    TABLE_II_CONFIGS,
+    wafer_config1,
+    wafer_config2,
+    wafer_config3,
+    wafer_config4,
+)
+from repro.hardware.enumerator import ArchitectureEnumerator, CandidateSpec
+from repro.hardware.faults import FaultModel, FaultyLink, FaultyDie
+
+__all__ = [
+    "CoreConfig",
+    "ComputeDieConfig",
+    "DramChipletConfig",
+    "DieConfig",
+    "WaferConfig",
+    "AreaModel",
+    "AreaBudgetError",
+    "TABLE_II_CONFIGS",
+    "wafer_config1",
+    "wafer_config2",
+    "wafer_config3",
+    "wafer_config4",
+    "ArchitectureEnumerator",
+    "CandidateSpec",
+    "FaultModel",
+    "FaultyLink",
+    "FaultyDie",
+]

@@ -1,0 +1,104 @@
+"""Wafer area and IO-budget accounting (paper §III-B, Fig. 4).
+
+The wafer provides roughly 40,000 mm² of usable area.  Every DRAM chiplet placed next to
+a compute die consumes both silicon area (shrinking the budget left for compute dies) and
+peripheral IO lanes on the compute die (shrinking the bandwidth left for D2D links).
+:class:`AreaModel` captures both effects so that the enumerator can generate only
+physically realisable wafer configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+from repro.hardware.template import DieConfig, WaferConfig
+
+
+class AreaBudgetError(ValueError):
+    """Raised when a configuration does not fit in the wafer area or IO budget."""
+
+
+@dataclass(frozen=True)
+class AreaModel:
+    """Checks and derives area/IO feasibility of wafer configurations.
+
+    ``packing_efficiency`` accounts for scribe lines, power delivery and keep-out zones:
+    only this fraction of the raw wafer rectangle can actually hold dies.
+    """
+
+    packing_efficiency: float = 0.92
+    min_d2d_bandwidth: float = 0.5e12
+
+    def usable_area(self, wafer: WaferConfig) -> float:
+        return wafer.usable_area_mm2 * self.packing_efficiency
+
+    def area_utilization(self, wafer: WaferConfig) -> float:
+        """Fraction of the usable wafer area occupied by compute + DRAM silicon."""
+        return wafer.occupied_area_mm2 / self.usable_area(wafer)
+
+    def fits(self, wafer: WaferConfig) -> bool:
+        """True when the die grid fits the wafer both by area and by linear dimensions."""
+        if wafer.occupied_area_mm2 > self.usable_area(wafer):
+            return False
+        tile_w, tile_h = self.tile_dimensions(wafer.die)
+        return (
+            tile_w * wafer.dies_x <= wafer.wafer_width_mm
+            and tile_h * wafer.dies_y <= wafer.wafer_height_mm
+        )
+
+    def validate(self, wafer: WaferConfig) -> None:
+        """Raise :class:`AreaBudgetError` if the configuration is infeasible."""
+        if not self.fits(wafer):
+            raise AreaBudgetError(
+                f"configuration '{wafer.name}' needs {wafer.occupied_area_mm2:.0f} mm² "
+                f"({wafer.dies_x}x{wafer.dies_y} dies) but only "
+                f"{self.usable_area(wafer):.0f} mm² is usable"
+            )
+        if self.derive_d2d_bandwidth(wafer.die) < self.min_d2d_bandwidth:
+            raise AreaBudgetError(
+                f"configuration '{wafer.name}' leaves less than "
+                f"{self.min_d2d_bandwidth / 1e12:.1f} TB/s of D2D bandwidth after "
+                f"provisioning {wafer.die.num_dram_chiplets} DRAM interfaces"
+            )
+
+    def tile_dimensions(self, die: DieConfig) -> Tuple[float, float]:
+        """Bounding-box width/height (mm) of one mesh tile.
+
+        DRAM chiplets are packed along the long edge of the compute die (as in Fig. 3);
+        with 3D stacking they do not enlarge the footprint.
+        """
+        compute = die.compute
+        if die.stacked_3d or die.num_dram_chiplets == 0:
+            return compute.width_mm, compute.height_mm
+        per_column = max(1, int(compute.height_mm // die.dram_chiplet.height_mm))
+        columns = -(-die.num_dram_chiplets // per_column)  # ceil division
+        width = compute.width_mm + columns * die.dram_chiplet.width_mm
+        return width, compute.height_mm
+
+    def derive_d2d_bandwidth(self, die: DieConfig) -> float:
+        """D2D bandwidth left after HBM interfaces take their share of the edge IO.
+
+        This encodes trade-off (2) of Fig. 4: the compute die's peripheral IO is fixed, so
+        every DRAM interface provisioned reduces the bandwidth available for mesh links.
+        With 3D stacking the DRAM uses hybrid bonding instead of edge IO, so the full edge
+        budget goes to D2D links.
+        """
+        if die.stacked_3d:
+            return die.compute.edge_io_bandwidth
+        consumed = die.num_dram_chiplets * die.dram_chiplet.interface_bandwidth
+        return max(0.0, die.compute.edge_io_bandwidth - consumed)
+
+    def apply_io_budget(self, die: DieConfig) -> DieConfig:
+        """Return a copy of ``die`` whose D2D bandwidth respects the IO budget."""
+        return replace(die, d2d_bandwidth=self.derive_d2d_bandwidth(die))
+
+    def max_dram_chiplets(self, die: DieConfig, wafer: WaferConfig) -> int:
+        """Largest DRAM chiplet count per die that keeps the grid on the wafer."""
+        best = 0
+        for count in range(0, 17):
+            candidate = replace(die, num_dram_chiplets=count)
+            trial = wafer.with_die(self.apply_io_budget(candidate))
+            if self.fits(trial) and self.derive_d2d_bandwidth(candidate) >= self.min_d2d_bandwidth:
+                best = count
+        return best

@@ -1,0 +1,207 @@
+"""Preset hardware configurations.
+
+* The four representative wafer-scale configurations from Table II of the paper.
+* The two compute-die variants described in §V-A (16×16 and 18×18 Dojo-style core arrays).
+* GPU systems used as baselines: an 8× Blackwell-Ultra DGX node and the NVL72 GB300 rack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.hardware.template import (
+    ComputeDieConfig,
+    CoreConfig,
+    DieConfig,
+    DramChipletConfig,
+    WaferConfig,
+)
+from repro.units import GB, tbps, tflops
+
+
+def compute_die_16x16() -> ComputeDieConfig:
+    """Compute die variant 1: 21.92 mm × 22.81 mm, 16×16 Dojo-style cores (§V-A)."""
+    return ComputeDieConfig(
+        core_rows=16,
+        core_cols=16,
+        core=CoreConfig(),
+        width_mm=21.92,
+        height_mm=22.81,
+        edge_io_bandwidth=tbps(12.0),
+    )
+
+
+def compute_die_18x18() -> ComputeDieConfig:
+    """Compute die variant 2: 25.5 mm × 25.2 mm, 18×18 Dojo-style cores (§V-A)."""
+    return ComputeDieConfig(
+        core_rows=18,
+        core_cols=18,
+        core=CoreConfig(),
+        width_mm=25.5,
+        height_mm=25.2,
+        edge_io_bandwidth=tbps(12.0),
+    )
+
+
+def _wafer(
+    name: str,
+    dies_x: int,
+    dies_y: int,
+    compute: ComputeDieConfig,
+    dram_per_die_gb: float,
+    dram_bw_tbps: float,
+    d2d_bw_tbps: float,
+    num_dram_chiplets: int,
+) -> WaferConfig:
+    chiplet = DramChipletConfig(
+        capacity_bytes=dram_per_die_gb * GB / num_dram_chiplets,
+        bandwidth=tbps(dram_bw_tbps) / num_dram_chiplets,
+        interface_bandwidth=tbps(dram_bw_tbps) / num_dram_chiplets,
+    )
+    die = DieConfig(
+        compute=compute,
+        dram_chiplet=chiplet,
+        num_dram_chiplets=num_dram_chiplets,
+        d2d_bandwidth=tbps(d2d_bw_tbps),
+    )
+    return WaferConfig(name=name, dies_x=dies_x, dies_y=dies_y, die=die)
+
+
+def wafer_config1() -> WaferConfig:
+    """Table II Config 1: 64 dies (8×8), 512 TFLOPS/die, 48 GB & 1 TB/s DRAM, 4.5 TB/s D2D."""
+    compute = ComputeDieConfig(
+        core_rows=16,
+        core_cols=16,
+        core=CoreConfig(flops_fp16=tflops(2.0)),
+        width_mm=21.92,
+        height_mm=22.81,
+        edge_io_bandwidth=tbps(12.0),
+    )
+    return _wafer("config1", 8, 8, compute, 48, 1.0, 4.5, 6)
+
+
+def wafer_config2() -> WaferConfig:
+    """Table II Config 2: 56 dies (7×8), 708 TFLOPS/die, 64 GB & 1.5 TB/s DRAM, 4.5 TB/s D2D."""
+    compute = ComputeDieConfig(
+        core_rows=18,
+        core_cols=18,
+        core=CoreConfig(flops_fp16=tflops(708.0 / 324.0)),
+        width_mm=25.5,
+        height_mm=25.2,
+        edge_io_bandwidth=tbps(12.0),
+    )
+    return _wafer("config2", 7, 8, compute, 64, 1.5, 4.5, 4)
+
+
+def wafer_config3() -> WaferConfig:
+    """Table II Config 3: 56 dies (7×8), 708 TFLOPS/die, 70 GB & 2 TB/s DRAM, 4 TB/s D2D.
+
+    This is the configuration the paper identifies as the universal optimum and uses for
+    the overall comparison (§V-B, §V-C).
+    """
+    compute = ComputeDieConfig(
+        core_rows=18,
+        core_cols=18,
+        core=CoreConfig(flops_fp16=tflops(708.0 / 324.0)),
+        width_mm=25.5,
+        height_mm=25.2,
+        edge_io_bandwidth=tbps(12.0),
+    )
+    return _wafer("config3", 7, 8, compute, 70, 2.0, 4.0, 5)
+
+
+def wafer_config4() -> WaferConfig:
+    """Table II Config 4: 48 dies (6×8), 708 TFLOPS/die, 96 GB & 2.5 TB/s DRAM, 3.5 TB/s D2D."""
+    compute = ComputeDieConfig(
+        core_rows=18,
+        core_cols=18,
+        core=CoreConfig(flops_fp16=tflops(708.0 / 324.0)),
+        width_mm=25.5,
+        height_mm=25.2,
+        edge_io_bandwidth=tbps(12.0),
+    )
+    return _wafer("config4", 6, 8, compute, 96, 2.5, 3.5, 6)
+
+
+TABLE_II_CONFIGS: Dict[str, WaferConfig] = {}
+
+
+def _build_table() -> None:
+    for factory in (wafer_config1, wafer_config2, wafer_config3, wafer_config4):
+        wafer = factory()
+        TABLE_II_CONFIGS[wafer.name] = wafer
+
+
+_build_table()
+
+
+@dataclass(frozen=True)
+class GpuConfig:
+    """A single GPU used in the DGX / NVL72 baseline systems."""
+
+    name: str = "blackwell-ultra"
+    flops_fp16: float = tflops(5000.0)
+    hbm_capacity: float = 288 * GB
+    hbm_bandwidth: float = tbps(8.0)
+    nvlink_bandwidth: float = tbps(1.8)
+    nvlink_latency: float = 500e-9
+
+
+@dataclass(frozen=True)
+class GpuSystemConfig:
+    """A cluster of GPUs connected by an all-to-all NVLink/NVSwitch fabric.
+
+    ``inter_node_bandwidth`` applies once the system spans several DGX nodes (Fig. 24a).
+    """
+
+    name: str = "dgx-b300"
+    num_gpus: int = 8
+    gpus_per_node: int = 8
+    gpu: GpuConfig = field(default_factory=GpuConfig)
+    inter_node_bandwidth: float = 400e9
+    inter_node_latency: float = 2e-6
+
+    @property
+    def num_nodes(self) -> int:
+        return -(-self.num_gpus // self.gpus_per_node)
+
+    @property
+    def total_flops(self) -> float:
+        return self.num_gpus * self.gpu.flops_fp16
+
+    @property
+    def total_hbm_capacity(self) -> float:
+        return self.num_gpus * self.gpu.hbm_capacity
+
+
+def dgx_b300_node(num_gpus: int = 8) -> GpuSystemConfig:
+    """The 8× Blackwell Ultra node the paper compares against (40,000 TFLOPS, 2304 GB)."""
+    return GpuSystemConfig(name="dgx-b300", num_gpus=num_gpus, gpus_per_node=8)
+
+
+def dgx_b300_equalized(num_gpus: int = 8) -> GpuSystemConfig:
+    """The §V-C fairness configuration of the DGX node.
+
+    For the overall comparison the paper scales MG-GPU's DRAM from 2304 GB to 3920 GB to
+    match the wafer's aggregate capacity and holds both systems at 2 TB/s of DRAM
+    bandwidth per device, so the comparison isolates the interconnect and scheduling.
+    """
+    gpu = GpuConfig(
+        name="blackwell-ultra-equalized",
+        flops_fp16=tflops(5000.0),
+        hbm_capacity=490 * GB,
+        hbm_bandwidth=tbps(2.0),
+        nvlink_bandwidth=tbps(1.8),
+    )
+    return GpuSystemConfig(name="dgx-b300-eq", num_gpus=num_gpus, gpus_per_node=8, gpu=gpu)
+
+
+def nvl72_gb300(num_gpus: int = 56) -> GpuSystemConfig:
+    """The NVL72 GB300 rack used in Fig. 1 (56 GPUs to match the 56-die WSC)."""
+    return GpuSystemConfig(
+        name="nvl72-gb300",
+        num_gpus=num_gpus,
+        gpus_per_node=72,
+        gpu=GpuConfig(name="gb300", flops_fp16=tflops(708.0), hbm_capacity=288 * GB),
+    )

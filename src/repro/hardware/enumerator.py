@@ -1,0 +1,120 @@
+"""Architecture candidate enumerator (the "Enumerator" box in Fig. 9).
+
+Given the configurable parameters of the hardware template (die grid dimensions, compute
+die variant, DRAM chiplet count per die), the enumerator exhaustively produces every
+combination that satisfies the wafer area and IO constraints.  The co-exploration engine
+then evaluates each surviving candidate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.hardware.area import AreaModel
+from repro.hardware.template import ComputeDieConfig, DieConfig, DramChipletConfig, WaferConfig
+from repro.hardware.configs import compute_die_16x16, compute_die_18x18
+
+
+@dataclass(frozen=True)
+class CandidateSpec:
+    """One point in the raw architecture parameter space before feasibility filtering."""
+
+    dies_x: int
+    dies_y: int
+    num_dram_chiplets: int
+    compute_variant: str
+
+    @property
+    def num_dies(self) -> int:
+        return self.dies_x * self.dies_y
+
+
+class ArchitectureEnumerator:
+    """Enumerates feasible wafer configurations under area and IO constraints.
+
+    Parameters
+    ----------
+    area_model:
+        The area/IO feasibility checker.  Defaults to the standard 12-inch wafer model.
+    grid_options:
+        (dies_x, dies_y) pairs to consider.  Defaults to the grids that appear in the
+        paper's Table II plus nearby points.
+    dram_options:
+        DRAM chiplet counts per die to consider.
+    compute_variants:
+        Named compute-die factories.  Defaults to the two §V-A variants.
+    """
+
+    def __init__(
+        self,
+        area_model: Optional[AreaModel] = None,
+        grid_options: Optional[Sequence[Tuple[int, int]]] = None,
+        dram_options: Optional[Sequence[int]] = None,
+        compute_variants: Optional[Sequence[str]] = None,
+        dram_chiplet: Optional[DramChipletConfig] = None,
+        wafer_template: Optional[WaferConfig] = None,
+    ) -> None:
+        self.area_model = area_model or AreaModel()
+        self.grid_options = list(grid_options or [(6, 8), (7, 8), (8, 8), (6, 6), (7, 7)])
+        self.dram_options = list(dram_options or [2, 3, 4, 5, 6])
+        self.compute_variants = list(compute_variants or ["16x16", "18x18"])
+        self.dram_chiplet = dram_chiplet or DramChipletConfig()
+        self.wafer_template = wafer_template or WaferConfig()
+        self._factories = {"16x16": compute_die_16x16, "18x18": compute_die_18x18}
+
+    def register_compute_variant(self, name: str, factory) -> None:
+        """Add a custom compute-die variant (used by the die-granularity DSE, Fig. 25)."""
+        self._factories[name] = factory
+        if name not in self.compute_variants:
+            self.compute_variants.append(name)
+
+    def specs(self) -> Iterator[CandidateSpec]:
+        """Yield every raw combination of the configurable parameters."""
+        for dies_x, dies_y in self.grid_options:
+            for num_dram in self.dram_options:
+                for variant in self.compute_variants:
+                    yield CandidateSpec(dies_x, dies_y, num_dram, variant)
+
+    def build(self, spec: CandidateSpec) -> WaferConfig:
+        """Materialise a :class:`WaferConfig` from a spec, applying the IO budget."""
+        compute = self._factories[spec.compute_variant]()
+        die = DieConfig(
+            compute=compute,
+            dram_chiplet=self.dram_chiplet,
+            num_dram_chiplets=spec.num_dram_chiplets,
+        )
+        die = self.area_model.apply_io_budget(die)
+        name = (
+            f"wafer-{spec.dies_x}x{spec.dies_y}-{spec.compute_variant}"
+            f"-hbm{spec.num_dram_chiplets}"
+        )
+        return replace(
+            self.wafer_template,
+            name=name,
+            dies_x=spec.dies_x,
+            dies_y=spec.dies_y,
+            die=die,
+        )
+
+    def enumerate(self) -> List[WaferConfig]:
+        """All feasible wafer configurations (area + IO constraints satisfied)."""
+        feasible: List[WaferConfig] = []
+        for spec in self.specs():
+            wafer = self.build(spec)
+            if self.area_model.fits(wafer) and wafer.die.d2d_bandwidth >= self.area_model.min_d2d_bandwidth:
+                feasible.append(wafer)
+        return feasible
+
+    def enumerate_with_rejects(self) -> Tuple[List[WaferConfig], List[WaferConfig]]:
+        """Both the feasible and the rejected candidates, useful for reporting."""
+        feasible: List[WaferConfig] = []
+        rejected: List[WaferConfig] = []
+        for spec in self.specs():
+            wafer = self.build(spec)
+            ok = (
+                self.area_model.fits(wafer)
+                and wafer.die.d2d_bandwidth >= self.area_model.min_d2d_bandwidth
+            )
+            (feasible if ok else rejected).append(wafer)
+        return feasible, rejected

@@ -1,0 +1,247 @@
+"""The configurable wafer-scale hardware template (paper §II-A, Fig. 3).
+
+The template is a three-level hierarchy:
+
+* :class:`WaferConfig` — the whole wafer-scale chip: a 2D mesh of identical dies on a
+  ~198 mm × 198 mm usable area, connected by die-to-die (D2D) links.
+* :class:`DieConfig` — one mesh tile: a compute die plus its attached HBM/DRAM chiplets
+  and its share of D2D interconnect bandwidth.
+* :class:`ComputeDieConfig` / :class:`CoreConfig` — the compute die is an array of cores,
+  each with a PE array for GEMMs, a vector unit and a private SRAM.
+
+All the parameters the paper lists as "adjustable" are explicit fields here, which is what
+makes the architecture design-space exploration possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from repro.units import GB, MB, tflops
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """A single compute core (PE array + vector unit + SRAM).
+
+    The default values follow the Dojo-style core the paper configures in §V-A:
+    2.04 FP16 TFLOPS and 1.25 MB of SRAM at 2 GHz.
+    """
+
+    flops_fp16: float = tflops(2.04)
+    sram_bytes: float = 1.25 * MB
+    frequency_hz: float = 2.0e9
+    vector_flops: float = tflops(0.128)
+
+    def __post_init__(self) -> None:
+        if self.flops_fp16 <= 0:
+            raise ValueError("core compute power must be positive")
+        if self.sram_bytes <= 0:
+            raise ValueError("core SRAM capacity must be positive")
+
+
+@dataclass(frozen=True)
+class ComputeDieConfig:
+    """A compute die: a 2D array of cores plus the die-level NoC.
+
+    ``width_mm`` / ``height_mm`` give the silicon footprint used by the area model.
+    ``edge_io_bandwidth`` is the total peripheral interconnect bandwidth available across
+    the four edges of the die (12 TB/s in the paper's setup); it is shared between D2D
+    links and HBM interfaces, which is the root of the compute/memory/communication
+    trade-off in Fig. 4.
+    """
+
+    core_rows: int = 16
+    core_cols: int = 16
+    core: CoreConfig = field(default_factory=CoreConfig)
+    width_mm: float = 21.92
+    height_mm: float = 22.81
+    edge_io_bandwidth: float = 12.0e12
+    noc_bandwidth: float = 2.0e12
+    noc_hop_latency: float = 5e-9
+
+    def __post_init__(self) -> None:
+        if self.core_rows <= 0 or self.core_cols <= 0:
+            raise ValueError("core array dimensions must be positive")
+        if self.width_mm <= 0 or self.height_mm <= 0:
+            raise ValueError("compute die dimensions must be positive")
+        if self.edge_io_bandwidth <= 0:
+            raise ValueError("edge IO bandwidth must be positive")
+
+    @property
+    def num_cores(self) -> int:
+        return self.core_rows * self.core_cols
+
+    @property
+    def flops_fp16(self) -> float:
+        """Peak FP16 throughput of the whole die."""
+        return self.num_cores * self.core.flops_fp16
+
+    @property
+    def sram_bytes(self) -> float:
+        """Aggregate SRAM across all cores."""
+        return self.num_cores * self.core.sram_bytes
+
+    @property
+    def area_mm2(self) -> float:
+        return self.width_mm * self.height_mm
+
+    @property
+    def aspect_ratio(self) -> float:
+        long_edge = max(self.width_mm, self.height_mm)
+        short_edge = min(self.width_mm, self.height_mm)
+        return long_edge / short_edge
+
+
+@dataclass(frozen=True)
+class DramChipletConfig:
+    """One HBM/DRAM chiplet bonded next to (or on top of) a compute die."""
+
+    capacity_bytes: float = 16 * GB
+    bandwidth: float = 0.5e12
+    width_mm: float = 4.92
+    height_mm: float = 8.13
+    interface_bandwidth: float = 0.5e12
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ValueError("DRAM capacity must be positive")
+        if self.bandwidth <= 0:
+            raise ValueError("DRAM bandwidth must be positive")
+
+    @property
+    def area_mm2(self) -> float:
+        return self.width_mm * self.height_mm
+
+
+@dataclass(frozen=True)
+class DieConfig:
+    """One mesh tile: a compute die with its DRAM chiplets and D2D link budget.
+
+    ``d2d_bandwidth`` is the aggregate die-to-die bandwidth this die can sustain across
+    its mesh links (i.e. what is left of ``edge_io_bandwidth`` after HBM interfaces are
+    provisioned); ``d2d_link_bandwidth`` is the bandwidth of a single mesh link to one
+    neighbour.
+    """
+
+    compute: ComputeDieConfig = field(default_factory=ComputeDieConfig)
+    dram_chiplet: DramChipletConfig = field(default_factory=DramChipletConfig)
+    num_dram_chiplets: int = 4
+    d2d_bandwidth: float = 4.5e12
+    d2d_latency: float = 100e-9
+    stacked_3d: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_dram_chiplets < 0:
+            raise ValueError("number of DRAM chiplets cannot be negative")
+        if self.d2d_bandwidth < 0:
+            raise ValueError("D2D bandwidth cannot be negative")
+
+    @property
+    def dram_capacity(self) -> float:
+        return self.num_dram_chiplets * self.dram_chiplet.capacity_bytes
+
+    @property
+    def dram_bandwidth(self) -> float:
+        return self.num_dram_chiplets * self.dram_chiplet.bandwidth
+
+    @property
+    def flops_fp16(self) -> float:
+        return self.compute.flops_fp16
+
+    @property
+    def d2d_link_bandwidth(self) -> float:
+        """Bandwidth of one mesh link (the aggregate is spread over four directions)."""
+        return self.d2d_bandwidth / 4.0
+
+    @property
+    def footprint_mm2(self) -> float:
+        """Silicon footprint of the tile (compute die plus 2.5D-placed DRAM chiplets).
+
+        With 3D stacking the DRAM sits on top of the compute die and stops competing for
+        wafer area (§VI-E), so only the compute die counts.
+        """
+        if self.stacked_3d:
+            return self.compute.area_mm2
+        return self.compute.area_mm2 + self.num_dram_chiplets * self.dram_chiplet.area_mm2
+
+
+@dataclass(frozen=True)
+class WaferConfig:
+    """A full wafer-scale chip: a ``dies_x`` × ``dies_y`` mesh of identical dies."""
+
+    name: str = "wafer"
+    dies_x: int = 8
+    dies_y: int = 8
+    die: DieConfig = field(default_factory=DieConfig)
+    wafer_width_mm: float = 198.32
+    wafer_height_mm: float = 198.32
+    host_bandwidth: float = 160e9
+    wafer_to_wafer_bandwidth: float = 0.0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.dies_x <= 0 or self.dies_y <= 0:
+            raise ValueError("die grid dimensions must be positive")
+        if self.wafer_width_mm <= 0 or self.wafer_height_mm <= 0:
+            raise ValueError("wafer dimensions must be positive")
+
+    @property
+    def num_dies(self) -> int:
+        return self.dies_x * self.dies_y
+
+    @property
+    def total_flops(self) -> float:
+        return self.num_dies * self.die.flops_fp16
+
+    @property
+    def total_dram_capacity(self) -> float:
+        return self.num_dies * self.die.dram_capacity
+
+    @property
+    def total_dram_bandwidth(self) -> float:
+        return self.num_dies * self.die.dram_bandwidth
+
+    @property
+    def usable_area_mm2(self) -> float:
+        return self.wafer_width_mm * self.wafer_height_mm
+
+    @property
+    def occupied_area_mm2(self) -> float:
+        return self.num_dies * self.die.footprint_mm2
+
+    def with_die(self, die: DieConfig) -> "WaferConfig":
+        """Return a copy of this wafer with a different per-die configuration."""
+        return replace(self, die=die)
+
+    def with_grid(self, dies_x: int, dies_y: int) -> "WaferConfig":
+        """Return a copy of this wafer with a different die grid."""
+        return replace(self, dies_x=dies_x, dies_y=dies_y)
+
+    def describe(self) -> Dict[str, float]:
+        """A flat summary used by reports and the enumerator."""
+        return {
+            "num_dies": self.num_dies,
+            "total_tflops": self.total_flops / 1e12,
+            "dram_per_die_gb": self.die.dram_capacity / GB,
+            "dram_bw_per_die_tbps": self.die.dram_bandwidth / 1e12,
+            "d2d_bw_per_die_tbps": self.die.d2d_bandwidth / 1e12,
+            "occupied_area_mm2": self.occupied_area_mm2,
+            "usable_area_mm2": self.usable_area_mm2,
+        }
+
+
+def scale_wafer_compute(wafer: WaferConfig, target_flops: float) -> WaferConfig:
+    """Scale the per-core compute power so the wafer reaches ``target_flops``.
+
+    Used by the benchmark harness to hold compute power equal between systems being
+    compared (the paper equalises WSC and GPU compute before comparing, §V-C).
+    """
+    if target_flops <= 0:
+        raise ValueError("target compute power must be positive")
+    scale = target_flops / wafer.total_flops
+    core = replace(wafer.die.compute.core, flops_fp16=wafer.die.compute.core.flops_fp16 * scale)
+    compute = replace(wafer.die.compute, core=core)
+    die = replace(wafer.die, compute=compute)
+    return wafer.with_die(die)

@@ -1,0 +1,23 @@
+"""Interconnect substrate: topologies, routing and collective-communication cost models."""
+
+from repro.interconnect.alphabeta import AlphaBetaLink, transfer_time
+from repro.interconnect.topology import (
+    MeshTopology,
+    MeshSwitchTopology,
+    MultiWaferTopology,
+)
+from repro.interconnect.routing import xy_path, manhattan_hops, LinkLoadTracker
+from repro.interconnect.collectives import CollectiveModel, CollectiveAlgorithm
+
+__all__ = [
+    "AlphaBetaLink",
+    "transfer_time",
+    "MeshTopology",
+    "MeshSwitchTopology",
+    "MultiWaferTopology",
+    "xy_path",
+    "manhattan_hops",
+    "LinkLoadTracker",
+    "CollectiveModel",
+    "CollectiveAlgorithm",
+]

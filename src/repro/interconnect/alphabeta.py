@@ -1,0 +1,49 @@
+"""The alpha–beta communication model (Eq. 1 of the paper).
+
+A point-to-point transfer of ``size`` bytes over a link costs::
+
+    t = alpha + size / bandwidth
+
+where ``alpha`` is the fixed per-message latency (link setup, routing, serialisation of
+the first flit) and ``bandwidth`` the sustained link bandwidth.  Collective algorithms
+are expressed as sequences of such transfers in :mod:`repro.interconnect.collectives`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AlphaBetaLink:
+    """A single communication link characterised by latency and bandwidth."""
+
+    bandwidth: float
+    latency: float = 100e-9
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError("link bandwidth must be positive")
+        if self.latency < 0:
+            raise ValueError("link latency cannot be negative")
+
+    def transfer_time(self, size_bytes: float) -> float:
+        """Time to move ``size_bytes`` over this link."""
+        return transfer_time(size_bytes, self.bandwidth, self.latency)
+
+    def degraded(self, quality: float) -> "AlphaBetaLink":
+        """A copy of this link with only ``quality`` of its bandwidth remaining."""
+        if not 0.0 < quality <= 1.0:
+            raise ValueError("quality must be within (0, 1]")
+        return AlphaBetaLink(bandwidth=self.bandwidth * quality, latency=self.latency)
+
+
+def transfer_time(size_bytes: float, bandwidth: float, latency: float = 0.0) -> float:
+    """alpha–beta cost of a single transfer."""
+    if size_bytes < 0:
+        raise ValueError("transfer size cannot be negative")
+    if bandwidth <= 0:
+        raise ValueError("bandwidth must be positive")
+    if size_bytes == 0:
+        return 0.0
+    return latency + size_bytes / bandwidth

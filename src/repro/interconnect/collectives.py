@@ -1,0 +1,196 @@
+"""Collective-communication cost models.
+
+All collectives are expressed with the alpha–beta model of Eq. 1, specialised to the
+ring/mesh algorithms the paper discusses:
+
+* unidirectional and bidirectional ring all-reduce / all-gather / reduce-scatter,
+* RingBiOdd (bidirectional ring supporting odd group sizes, §VI-B),
+* a TACOS-like topology-aware collective that exploits both mesh dimensions,
+* 2D tensor-parallel communication (GSPMD-style), which moves more data and therefore
+  loses on a 2D mesh (the paper's Fig. 21 insight),
+* all-to-all for MoE token routing and broadcast for Cerebras-style weight streaming.
+
+The group is assumed to be placed contiguously on the mesh; ``links_per_step`` lets the
+caller model how many mesh links the ring actually keeps busy, which is how the TP=8
+link-underutilisation effect of Fig. 5b is captured.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.interconnect.alphabeta import AlphaBetaLink
+
+
+class CollectiveAlgorithm(enum.Enum):
+    """Which all-reduce implementation the TP engine uses."""
+
+    RING = "ring"
+    BIDIRECTIONAL_RING = "bidirectional_ring"
+    RING_BI_ODD = "ring_bi_odd"
+    TACOS = "tacos"
+    TP_2D = "tp_2d"
+
+
+@dataclass(frozen=True)
+class CollectiveModel:
+    """Cost model for collectives over a group of ``group_size`` dies on the mesh.
+
+    Parameters
+    ----------
+    link:
+        The per-hop D2D link (bandwidth already reflects any fault degradation).
+    group_size:
+        Number of dies participating in the collective.
+    step_overhead:
+        Fixed software/DMA cost paid on every ring step (chunk descriptor setup, router
+        arbitration, synchronisation).  This is the term that makes very large TP groups
+        pay for their long rings even when the bandwidth term has saturated — the effect
+        behind the paper's "small TP wins on WSCs" insight.
+    """
+
+    link: AlphaBetaLink
+    group_size: int
+    step_overhead: float = 2e-6
+
+    def __post_init__(self) -> None:
+        if self.group_size <= 0:
+            raise ValueError("collective group size must be positive")
+        if self.step_overhead < 0:
+            raise ValueError("step overhead cannot be negative")
+
+    @property
+    def _per_step(self) -> float:
+        return self.link.latency + self.step_overhead
+
+    # ------------------------------------------------------------------ ring family
+    def ring_all_reduce(self, size_bytes: float, bidirectional: bool = False) -> float:
+        """Ring all-reduce: 2(n-1)/n of the data crosses each link (Eq. 1's beta term)."""
+        n = self.group_size
+        if n == 1 or size_bytes == 0:
+            return 0.0
+        effective_bw = self.link.bandwidth * (2.0 if bidirectional else 1.0)
+        steps = 2 * (n - 1)
+        volume = 2.0 * (n - 1) / n * size_bytes
+        return steps * self._per_step + volume / effective_bw
+
+    def ring_all_gather(self, size_bytes: float, bidirectional: bool = False) -> float:
+        """All-gather of ``size_bytes`` total result."""
+        n = self.group_size
+        if n == 1 or size_bytes == 0:
+            return 0.0
+        effective_bw = self.link.bandwidth * (2.0 if bidirectional else 1.0)
+        steps = n - 1
+        volume = (n - 1) / n * size_bytes
+        return steps * self._per_step + volume / effective_bw
+
+    def reduce_scatter(self, size_bytes: float, bidirectional: bool = False) -> float:
+        """Reduce-scatter, the mirror image of all-gather."""
+        return self.ring_all_gather(size_bytes, bidirectional=bidirectional)
+
+    def ring_bi_odd(self, size_bytes: float) -> float:
+        """Bidirectional ring generalised to odd group sizes (RingBiOdd).
+
+        The odd ring cannot perfectly balance the two directions, costing roughly one
+        extra chunk of serialisation relative to the even bidirectional ring.
+        """
+        n = self.group_size
+        if n == 1 or size_bytes == 0:
+            return 0.0
+        base = self.ring_all_reduce(size_bytes, bidirectional=True)
+        if n % 2 == 0:
+            return base
+        imbalance = size_bytes / n / (self.link.bandwidth * 2.0)
+        return base + imbalance + self._per_step
+
+    def tacos(self, size_bytes: float) -> float:
+        """TACOS-like topology-aware all-reduce.
+
+        TACOS synthesises a collective schedule that exploits both mesh dimensions, so it
+        behaves like a bidirectional ring whose startup (alpha) term grows only with the
+        mesh diameter rather than the group size — it wins at large TP degrees but cannot
+        beat the bandwidth lower bound.
+        """
+        n = self.group_size
+        if n == 1 or size_bytes == 0:
+            return 0.0
+        diameter = 2 * max(1, int(math.ceil(math.sqrt(n))) - 1)
+        volume = 2.0 * (n - 1) / n * size_bytes
+        return 2 * diameter * self._per_step + volume / (self.link.bandwidth * 2.0)
+
+    # ------------------------------------------------------------------ other patterns
+    def all_reduce(self, size_bytes: float, algorithm: CollectiveAlgorithm) -> float:
+        """Dispatch to the selected all-reduce implementation."""
+        if algorithm is CollectiveAlgorithm.RING:
+            return self.ring_all_reduce(size_bytes)
+        if algorithm is CollectiveAlgorithm.BIDIRECTIONAL_RING:
+            return self.ring_all_reduce(size_bytes, bidirectional=True)
+        if algorithm is CollectiveAlgorithm.RING_BI_ODD:
+            return self.ring_bi_odd(size_bytes)
+        if algorithm is CollectiveAlgorithm.TACOS:
+            return self.tacos(size_bytes)
+        if algorithm is CollectiveAlgorithm.TP_2D:
+            return self.tp_2d_all_reduce(size_bytes)
+        raise ValueError(f"unknown collective algorithm {algorithm!r}")
+
+    def tp_2d_all_reduce(self, size_bytes: float) -> float:
+        """2D tensor-parallel communication (GSPMD-style summa decomposition).
+
+        2D TP replaces one all-reduce of the activation with row/column broadcasts and
+        reductions whose combined volume is larger for LLM-shaped GEMMs; on a 2D mesh it
+        also suffers tail latency from the longer of the two phases.  Modelled as two
+        sequential collectives over the row and column sub-groups with ~1.5× volume.
+        """
+        n = self.group_size
+        if n == 1 or size_bytes == 0:
+            return 0.0
+        rows = max(1, int(math.sqrt(n)))
+        cols = max(1, -(-n // rows))
+        row_model = CollectiveModel(self.link, rows, self.step_overhead)
+        col_model = CollectiveModel(self.link, cols, self.step_overhead)
+        inflated = 1.5 * size_bytes
+        return (
+            row_model.ring_all_reduce(inflated / 2.0, bidirectional=True)
+            + col_model.ring_all_reduce(inflated, bidirectional=True)
+        )
+
+    def all_to_all(self, size_bytes: float) -> float:
+        """All-to-all exchange (MoE token routing): each die sends 1/n to every peer."""
+        n = self.group_size
+        if n == 1 or size_bytes == 0:
+            return 0.0
+        per_peer = size_bytes / n
+        # On a mesh the exchange contends for the bisection: traffic crossing the middle
+        # of an n-die group serialises over roughly sqrt(n) links.
+        contention = max(1.0, math.sqrt(n) / 2.0)
+        steps = max(1, int(math.ceil(math.sqrt(n))))
+        return steps * self._per_step + (n - 1) * per_peer * contention / self.link.bandwidth
+
+    def broadcast(self, size_bytes: float) -> float:
+        """Pipeline broadcast along the ring (used for Cerebras weight streaming)."""
+        n = self.group_size
+        if n == 1 or size_bytes == 0:
+            return 0.0
+        return (n - 1) * self._per_step + size_bytes / self.link.bandwidth
+
+    # ------------------------------------------------------------------ mesh effects
+    def ring_link_utilization(self, group_shape: tuple) -> float:
+        """Fraction of mesh links inside the group's bounding box a ring actually uses.
+
+        A ring embedded in an ``a × b`` sub-mesh keeps its perimeter links busy but leaves
+        the interior links idle, which is the Fig. 5b observation that large TP groups
+        under-utilise the mesh.
+        """
+        a, b = group_shape
+        if a <= 0 or b <= 0:
+            raise ValueError("group shape must be positive")
+        if a * b == 1:
+            return 1.0
+        total_links = a * (b - 1) + b * (a - 1)
+        if a == 1 or b == 1:
+            ring_links = max(a, b) - 1
+        else:
+            ring_links = 2 * (a - 1) + 2 * (b - 1)
+        return min(1.0, ring_links / total_links) if total_links else 1.0

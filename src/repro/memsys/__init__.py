@@ -1,0 +1,14 @@
+"""Memory-system substrate: DRAM/SRAM access models and intra-die dataflow analysis."""
+
+from repro.memsys.dataflow import Dataflow, external_memory_accesses, select_dataflow
+from repro.memsys.dram import DramModel
+from repro.memsys.sram import SramTiler, TilePlan
+
+__all__ = [
+    "Dataflow",
+    "external_memory_accesses",
+    "select_dataflow",
+    "DramModel",
+    "SramTiler",
+    "TilePlan",
+]

@@ -1,0 +1,73 @@
+"""Intra-die dataflows and external-memory-access (EMA) analysis (paper Fig. 14).
+
+For a GEMM of shape ``S × K`` times ``K × H`` executed on an ``m × n`` MAC array, the
+three stationary dataflows reload different operands and therefore generate different
+amounts of external (SRAM↔DRAM) traffic:
+
+* input stationary  (IS):  EMA = S·H·K · (1/K + 1/m + 1/n)
+* weight stationary (WS):  EMA = S·H·K · (1/n + 1/S + 1/m)
+* output stationary (OS):  EMA = S·H·K · (1/n + 1/m + 1/H)
+
+WATOS's TP engine picks, per operator, the dataflow that minimises EMA (the "hybrid
+dataflow" of §IV-E-1).  Row stationary exists for convolutions and is treated as OS for
+GEMM-shaped work.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Tuple
+
+from repro.units import FP16_BYTES
+
+
+class Dataflow(enum.Enum):
+    """The stationary dataflow used to schedule a GEMM on the PE array."""
+
+    OUTPUT_STATIONARY = "os"
+    WEIGHT_STATIONARY = "ws"
+    INPUT_STATIONARY = "is"
+    ROW_STATIONARY = "rs"
+
+
+def external_memory_accesses(
+    s: int, h: int, k: int, array_rows: int, array_cols: int, dataflow: Dataflow
+) -> float:
+    """EMA element count of a GEMM (S×K)·(K×H) under ``dataflow`` on an m×n MAC array."""
+    if min(s, h, k) <= 0:
+        raise ValueError("GEMM dimensions must be positive")
+    if array_rows <= 0 or array_cols <= 0:
+        raise ValueError("MAC array dimensions must be positive")
+    m, n = float(array_rows), float(array_cols)
+    shk = float(s) * float(h) * float(k)
+    if dataflow is Dataflow.INPUT_STATIONARY:
+        return shk * (1.0 / k + 1.0 / m + 1.0 / n)
+    if dataflow is Dataflow.WEIGHT_STATIONARY:
+        return shk * (1.0 / n + 1.0 / s + 1.0 / m)
+    if dataflow in (Dataflow.OUTPUT_STATIONARY, Dataflow.ROW_STATIONARY):
+        return shk * (1.0 / n + 1.0 / m + 1.0 / h)
+    raise ValueError(f"unknown dataflow {dataflow!r}")
+
+
+def external_memory_bytes(
+    s: int, h: int, k: int, array_rows: int, array_cols: int, dataflow: Dataflow,
+    element_bytes: int = FP16_BYTES,
+) -> float:
+    """EMA in bytes rather than elements."""
+    return external_memory_accesses(s, h, k, array_rows, array_cols, dataflow) * element_bytes
+
+
+def select_dataflow(
+    s: int, h: int, k: int, array_rows: int, array_cols: int
+) -> Tuple[Dataflow, float]:
+    """The dataflow with the lowest EMA for a GEMM shape, and its EMA element count."""
+    candidates = (
+        Dataflow.OUTPUT_STATIONARY,
+        Dataflow.WEIGHT_STATIONARY,
+        Dataflow.INPUT_STATIONARY,
+    )
+    scored: Dict[Dataflow, float] = {
+        df: external_memory_accesses(s, h, k, array_rows, array_cols, df) for df in candidates
+    }
+    best = min(scored, key=scored.get)
+    return best, scored[best]

@@ -1,0 +1,83 @@
+"""Per-die DRAM model: capacity tracking and bandwidth-limited access latency.
+
+WSCs have the distinguishing property that D2D bandwidth usually exceeds per-die DRAM
+bandwidth, so a *remote* DRAM access (reading a checkpoint parked on a Helper die) is
+limited by the DRAM, not the mesh — which is why GCMR's cross-die checkpoint balancing
+is nearly free (§IV-C-2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+class DramCapacityError(MemoryError):
+    """Raised when an allocation exceeds the remaining DRAM capacity of a die."""
+
+
+@dataclass
+class DramModel:
+    """One die's DRAM: a capacity budget plus a bandwidth-based access-time model."""
+
+    capacity_bytes: float
+    bandwidth: float
+    access_latency: float = 200e-9
+    allocations: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0 or self.bandwidth <= 0:
+            raise ValueError("DRAM capacity and bandwidth must be positive")
+
+    # ------------------------------------------------------------------ capacity
+    @property
+    def allocated_bytes(self) -> float:
+        return sum(self.allocations.values())
+
+    @property
+    def free_bytes(self) -> float:
+        return self.capacity_bytes - self.allocated_bytes
+
+    @property
+    def utilization(self) -> float:
+        return self.allocated_bytes / self.capacity_bytes
+
+    def allocate(self, tag: str, size_bytes: float) -> None:
+        """Reserve ``size_bytes`` under ``tag``; accumulates if the tag already exists."""
+        if size_bytes < 0:
+            raise ValueError("allocation size cannot be negative")
+        if size_bytes > self.free_bytes + 1e-6:
+            raise DramCapacityError(
+                f"allocation '{tag}' of {size_bytes / 1e9:.2f} GB exceeds the "
+                f"{self.free_bytes / 1e9:.2f} GB free on this die"
+            )
+        self.allocations[tag] = self.allocations.get(tag, 0.0) + size_bytes
+
+    def release(self, tag: str) -> float:
+        """Free an allocation and return its size (0 if the tag is unknown)."""
+        return self.allocations.pop(tag, 0.0)
+
+    def reset(self) -> None:
+        self.allocations.clear()
+
+    # ------------------------------------------------------------------ access time
+    def access_time(self, size_bytes: float) -> float:
+        """Time to stream ``size_bytes`` to or from this DRAM."""
+        if size_bytes < 0:
+            raise ValueError("access size cannot be negative")
+        if size_bytes == 0:
+            return 0.0
+        return self.access_latency + size_bytes / self.bandwidth
+
+    def remote_access_time(self, size_bytes: float, d2d_bandwidth: float, hops: int = 1) -> float:
+        """Access time when the data lives in another die's DRAM, ``hops`` links away.
+
+        The transfer is limited by whichever of the DRAM and the D2D path is slower; on a
+        WSC that is almost always the DRAM, which is the paper's overlap argument.
+        """
+        if d2d_bandwidth <= 0:
+            raise ValueError("D2D bandwidth must be positive")
+        if size_bytes == 0:
+            return 0.0
+        bottleneck = min(self.bandwidth, d2d_bandwidth)
+        return self.access_latency + hops * 100e-9 + size_bytes / bottleneck

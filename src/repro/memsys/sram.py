@@ -1,0 +1,75 @@
+"""Core-SRAM tiling: splitting a die-level GEMM into tiles that fit a core's SRAM.
+
+The TP engine first partitions an operator across dies, then each die partitions its
+share into basic computation tiles sized to the core SRAM (§IV-E-1).  The tiler here
+chooses square-ish tiles and reports how many tile iterations the core needs, which the
+analytical predictor turns into latency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.units import FP16_BYTES
+
+
+@dataclass(frozen=True)
+class TilePlan:
+    """Result of tiling a GEMM of shape (s, h, k) for one core."""
+
+    tile_s: int
+    tile_h: int
+    tile_k: int
+    num_tiles: int
+
+    @property
+    def tile_bytes(self) -> float:
+        """Working-set bytes of one tile (input + weight + output)."""
+        return FP16_BYTES * (
+            self.tile_s * self.tile_k + self.tile_k * self.tile_h + self.tile_s * self.tile_h
+        )
+
+
+class SramTiler:
+    """Chooses GEMM tiles that fit in a core's SRAM."""
+
+    def __init__(self, sram_bytes: float, utilization: float = 0.8) -> None:
+        if sram_bytes <= 0:
+            raise ValueError("SRAM capacity must be positive")
+        if not 0.0 < utilization <= 1.0:
+            raise ValueError("SRAM utilisation target must be within (0, 1]")
+        self.sram_bytes = sram_bytes
+        self.utilization = utilization
+
+    @property
+    def budget_bytes(self) -> float:
+        return self.sram_bytes * self.utilization
+
+    def plan(self, s: int, h: int, k: int) -> TilePlan:
+        """Tile a GEMM (S×K)·(K×H): shrink the largest dimension until the tile fits."""
+        if min(s, h, k) <= 0:
+            raise ValueError("GEMM dimensions must be positive")
+        tile_s, tile_h, tile_k = s, h, k
+        while self._working_set(tile_s, tile_h, tile_k) > self.budget_bytes:
+            largest = max(tile_s, tile_h, tile_k)
+            if largest <= 1:
+                break
+            if tile_s == largest:
+                tile_s = max(1, tile_s // 2)
+            elif tile_h == largest:
+                tile_h = max(1, tile_h // 2)
+            else:
+                tile_k = max(1, tile_k // 2)
+        num_tiles = (
+            math.ceil(s / tile_s) * math.ceil(h / tile_h) * math.ceil(k / tile_k)
+        )
+        return TilePlan(tile_s=tile_s, tile_h=tile_h, tile_k=tile_k, num_tiles=num_tiles)
+
+    @staticmethod
+    def _working_set(tile_s: int, tile_h: int, tile_k: int) -> float:
+        return FP16_BYTES * (tile_s * tile_k + tile_k * tile_h + tile_s * tile_h)
+
+    def fits(self, s: int, h: int, k: int) -> bool:
+        """True when the whole GEMM already fits the SRAM without tiling."""
+        return self._working_set(s, h, k) <= self.budget_bytes

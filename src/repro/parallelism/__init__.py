@@ -1,0 +1,22 @@
+"""Parallelism strategies: DP/TP/PP algebra, the 1F1B pipeline schedule and baseline
+strategy generators (Megatron, Cerebras weight streaming, FSDP)."""
+
+from repro.parallelism.strategies import ParallelismConfig, enumerate_tp_pp
+from repro.parallelism.pipeline import PipelineCostInputs, PipelineResult, simulate_1f1b
+from repro.parallelism.partition import TPSplitStrategy, factor_shapes
+from repro.parallelism.megatron import megatron_parallelism
+from repro.parallelism.cerebras import CerebrasWeightStreaming
+from repro.parallelism.fsdp import fsdp_traffic_bytes
+
+__all__ = [
+    "ParallelismConfig",
+    "enumerate_tp_pp",
+    "PipelineCostInputs",
+    "PipelineResult",
+    "simulate_1f1b",
+    "TPSplitStrategy",
+    "factor_shapes",
+    "megatron_parallelism",
+    "CerebrasWeightStreaming",
+    "fsdp_traffic_bytes",
+]

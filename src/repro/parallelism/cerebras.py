@@ -1,0 +1,79 @@
+"""Cerebras weight-streaming execution model (the paper's "Cerebras" baseline).
+
+Weight streaming keeps activations resident across the whole wafer and executes the
+model **layer by layer**: for each layer, its weights are broadcast from the memory
+(MemoryX-style) store to all compute dies, the layer is computed data-parallel over the
+batch, and gradients are reduced back.  Communication therefore scales with the model
+parallel degree and with the parameter volume per layer, which is why the gap to WATOS
+widens for small batches and short sequences (§V-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.template import WaferConfig
+from repro.interconnect.alphabeta import AlphaBetaLink
+from repro.interconnect.collectives import CollectiveModel
+from repro.units import FP16_BYTES
+from repro.workloads.transformer import layer_flops
+from repro.workloads.workload import TrainingWorkload
+
+
+@dataclass(frozen=True)
+class CerebrasResult:
+    """Per-iteration cost of the weight-streaming execution."""
+
+    iteration_time: float
+    compute_time: float
+    weight_stream_time: float
+    gradient_reduce_time: float
+
+    @property
+    def exposed_comm_time(self) -> float:
+        return self.iteration_time - self.compute_time
+
+
+class CerebrasWeightStreaming:
+    """Cost model of Cerebras-style weight streaming on a wafer configuration."""
+
+    def __init__(self, wafer: WaferConfig, compute_efficiency: float = 0.45,
+                 overlap_fraction: float = 0.6) -> None:
+        if not 0.0 < compute_efficiency <= 1.0:
+            raise ValueError("compute efficiency must be within (0, 1]")
+        if not 0.0 <= overlap_fraction <= 1.0:
+            raise ValueError("overlap fraction must be within [0, 1]")
+        self.wafer = wafer
+        self.compute_efficiency = compute_efficiency
+        self.overlap_fraction = overlap_fraction
+
+    def evaluate(self, workload: TrainingWorkload) -> CerebrasResult:
+        """Iteration time of one forward+backward pass under weight streaming."""
+        model = workload.model
+        num_dies = self.wafer.num_dies
+        link = AlphaBetaLink(self.wafer.die.d2d_link_bandwidth, self.wafer.die.d2d_latency)
+        collective = CollectiveModel(link, num_dies)
+
+        # Compute: the batch is spread data-parallel over every die, layer by layer.
+        fwd_flops_per_layer = layer_flops(model, workload.global_batch_size, workload.seq_len)
+        total_flops = 3.0 * fwd_flops_per_layer * model.num_layers
+        compute_time = total_flops / (self.wafer.total_flops * self.compute_efficiency)
+
+        # Weight streaming: each layer's weights are broadcast to all dies in the forward
+        # pass and again in the backward pass.
+        layer_weight_bytes = model.params_per_layer * FP16_BYTES
+        stream_time = 2.0 * model.num_layers * collective.broadcast(layer_weight_bytes)
+
+        # Gradients are reduced across all dies once per layer.
+        reduce_time = model.num_layers * collective.ring_all_reduce(
+            layer_weight_bytes, bidirectional=True
+        )
+
+        comm_time = stream_time + reduce_time
+        exposed = comm_time * (1.0 - self.overlap_fraction)
+        return CerebrasResult(
+            iteration_time=compute_time + exposed,
+            compute_time=compute_time,
+            weight_stream_time=stream_time,
+            gradient_reduce_time=reduce_time,
+        )

@@ -1,0 +1,66 @@
+"""Megatron-LM's parallelism heuristic (the paper's "MG-optimal" baseline, §III-A).
+
+Megatron picks the tensor-parallel degree first — as large as needed to fit a layer's
+model state in device memory, up to 8 (one NVLink island) — and assigns the rest of the
+model-parallel dies to pipeline stages.  The heuristic knows nothing about the wafer's
+2D-mesh topology, which is exactly the blind spot WATOS exploits (Fig. 5a).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.parallelism.strategies import ParallelismConfig
+from repro.workloads.memory import TrainingMemoryModel
+from repro.workloads.models import ModelConfig
+
+
+def megatron_parallelism(
+    model: ModelConfig,
+    num_devices: int,
+    device_memory_bytes: float,
+    max_tp: int = 8,
+    global_batch_size: int = 512,
+) -> ParallelismConfig:
+    """Return Megatron's recommended (DP, TP, PP) for ``num_devices`` devices.
+
+    The rule reproduced here (matching the MG-optimal settings the paper quotes, e.g.
+    (TP, PP) = (8, 4) for Llama-30B on 32 dies and (8, 8) on 64 dies):
+
+    1. pick TP from the model scale — Megatron keeps TP inside one NVLink island and
+       uses the full island (TP = 8) for tens-of-billions-parameter models, TP = 4 for
+       ~10 B models and TP = 2 below that;
+    2. grow PP until the whole model's state fits the TP×PP group;
+    3. whatever devices remain become data parallel.
+    """
+    if num_devices <= 0:
+        raise ValueError("need at least one device")
+    if device_memory_bytes <= 0:
+        raise ValueError("device memory must be positive")
+
+    memory = TrainingMemoryModel(model)
+
+    params = model.num_parameters
+    if params >= 20e9:
+        tp = 8
+    elif params >= 8e9:
+        tp = 4
+    elif params >= 2e9:
+        tp = 2
+    else:
+        tp = 1
+    tp = min(tp, max_tp, num_devices)
+    while num_devices % tp != 0 and tp > 1:
+        tp //= 2
+
+    pp = 1
+    while pp < num_devices // tp:
+        total_state = memory.total_model_state_bytes()
+        if total_state / (tp * pp) <= 0.8 * device_memory_bytes:
+            break
+        pp *= 2
+    pp = max(1, min(pp, model.num_layers, num_devices // tp))
+
+    dp = max(1, num_devices // (tp * pp))
+    dp = min(dp, global_batch_size)
+    return ParallelismConfig(dp=dp, tp=tp, pp=pp)

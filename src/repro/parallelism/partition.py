@@ -1,0 +1,87 @@
+"""Tensor-parallel split strategies and mesh shapes for TP groups.
+
+A GEMM can be partitioned along batch (B), sequence (S), hidden (H) or reduction (K)
+dimensions (Fig. 13).  The split strategy determines which collective closes the
+partial results and therefore the communication volume; the TP group's physical shape
+on the mesh determines how well the ring embeds (Fig. 5b).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.units import FP16_BYTES
+
+
+class TPSplitStrategy(enum.Enum):
+    """Which tensor dimension the TP engine partitions."""
+
+    HIDDEN = "hidden"        # Megatron column/row parallel — all-reduce on activations
+    SEQUENCE = "sequence"    # sequence parallel — all-gather + reduce-scatter
+    BATCH = "batch"          # batch split — gradient all-reduce only
+    REDUCTION = "reduction"  # K-dim split — all-reduce on partial sums
+
+
+def factor_shapes(group_size: int) -> List[Tuple[int, int]]:
+    """All (a, b) rectangle shapes with a*b == group_size, e.g. 4 → (1,4),(2,2),(4,1)."""
+    if group_size <= 0:
+        raise ValueError("group size must be positive")
+    shapes = []
+    for a in range(1, group_size + 1):
+        if group_size % a == 0:
+            shapes.append((a, group_size // a))
+    return shapes
+
+
+def best_mesh_shape(group_size: int, mesh_x: int, mesh_y: int) -> Tuple[int, int]:
+    """The most square TP-group shape that fits the mesh dimensions."""
+    candidates = [
+        (a, b) for a, b in factor_shapes(group_size) if a <= mesh_x and b <= mesh_y
+    ]
+    if not candidates:
+        raise ValueError(
+            f"a TP group of {group_size} dies does not fit a {mesh_x}x{mesh_y} mesh"
+        )
+    return min(candidates, key=lambda ab: abs(ab[0] - ab[1]))
+
+
+@dataclass(frozen=True)
+class SplitCost:
+    """Communication volume a split strategy induces per layer per micro-batch."""
+
+    strategy: TPSplitStrategy
+    allreduce_bytes: float
+    allgather_bytes: float
+
+
+def split_communication(
+    strategy: TPSplitStrategy,
+    batch: int,
+    seq: int,
+    hidden: int,
+    tp: int,
+    allreduces_per_layer: int = 2,
+) -> SplitCost:
+    """Per-layer communication volume of a TP split strategy.
+
+    The hidden (Megatron) split all-reduces the activation after each row-parallel GEMM;
+    sequence parallelism swaps those for all-gather + reduce-scatter of the same volume;
+    batch split needs no activation communication (but replicates weights); the reduction
+    split all-reduces partial sums of the same activation size.
+    """
+    if tp <= 0:
+        raise ValueError("tensor parallel degree must be positive")
+    activation = float(batch * seq * hidden * FP16_BYTES)
+    if tp == 1:
+        return SplitCost(strategy, 0.0, 0.0)
+    if strategy is TPSplitStrategy.HIDDEN:
+        return SplitCost(strategy, allreduces_per_layer * activation, 0.0)
+    if strategy is TPSplitStrategy.SEQUENCE:
+        return SplitCost(strategy, 0.0, 2 * allreduces_per_layer * activation)
+    if strategy is TPSplitStrategy.BATCH:
+        return SplitCost(strategy, 0.0, 0.0)
+    if strategy is TPSplitStrategy.REDUCTION:
+        return SplitCost(strategy, allreduces_per_layer * activation, 0.0)
+    raise ValueError(f"unknown split strategy {strategy!r}")

@@ -1,0 +1,171 @@
+"""1F1B pipeline-parallel schedule simulator (paper §II-B, Fig. 8).
+
+The simulator builds the dependency graph of forward/backward micro-batch tasks under
+the one-forward-one-backward schedule and computes the iteration makespan, per-stage
+busy time and bubble time.  Stage execution times may differ per stage (which is exactly
+what recomputation and memory balancing perturb), so a closed-form bubble formula is not
+enough — the event-driven simulation below handles heterogeneous stages and inter-stage
+communication delays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class PipelineCostInputs:
+    """Per-stage costs feeding the 1F1B simulation.
+
+    ``forward`` / ``backward`` are per-micro-batch execution times per stage (backward
+    should already include any recomputation overhead).  ``comm`` holds the inter-stage
+    activation transfer time between stage ``i`` and ``i+1`` (length ``pp - 1``).
+    """
+
+    forward: Sequence[float]
+    backward: Sequence[float]
+    comm: Sequence[float]
+    num_microbatches: int
+
+    def __post_init__(self) -> None:
+        pp = len(self.forward)
+        if pp == 0:
+            raise ValueError("need at least one pipeline stage")
+        if len(self.backward) != pp:
+            raise ValueError("forward/backward stage counts differ")
+        if len(self.comm) != max(0, pp - 1):
+            raise ValueError("need exactly pp - 1 inter-stage communication times")
+        if self.num_microbatches <= 0:
+            raise ValueError("need at least one micro-batch")
+        if any(t < 0 for t in list(self.forward) + list(self.backward) + list(self.comm)):
+            raise ValueError("times cannot be negative")
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.forward)
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    """Outcome of simulating one 1F1B iteration."""
+
+    iteration_time: float
+    stage_busy_time: Tuple[float, ...]
+    stage_finish_time: Tuple[float, ...]
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.stage_busy_time)
+
+    @property
+    def bubble_time(self) -> float:
+        """Total idle time summed over stages."""
+        return sum(self.iteration_time - busy for busy in self.stage_busy_time)
+
+    @property
+    def bubble_fraction(self) -> float:
+        total = self.iteration_time * self.num_stages
+        return self.bubble_time / total if total > 0 else 0.0
+
+    def stage_utilization(self, stage: int) -> float:
+        if self.iteration_time == 0:
+            return 0.0
+        return self.stage_busy_time[stage] / self.iteration_time
+
+
+Task = Tuple[str, int, int]  # (kind, stage, microbatch)
+
+
+def _stage_task_order(stage: int, pp: int, n: int) -> List[Task]:
+    """The 1F1B task order for one stage: warmup forwards, steady 1F1B pairs, cooldown."""
+    warmup = min(pp - stage - 1, n)
+    order: List[Task] = [("F", stage, m) for m in range(warmup)]
+    next_fwd, next_bwd = warmup, 0
+    # Steady state: alternate one forward, one backward.
+    while next_fwd < n:
+        order.append(("F", stage, next_fwd))
+        next_fwd += 1
+        order.append(("B", stage, next_bwd))
+        next_bwd += 1
+    # Cooldown: remaining backwards.
+    while next_bwd < n:
+        order.append(("B", stage, next_bwd))
+        next_bwd += 1
+    return order
+
+
+def simulate_1f1b(inputs: PipelineCostInputs) -> PipelineResult:
+    """Simulate one iteration of the 1F1B schedule and return its makespan.
+
+    Dependencies honoured:
+
+    * ``F(s, m)`` waits for ``F(s-1, m)`` plus the inter-stage transfer;
+    * ``B(s, m)`` waits for ``B(s+1, m)`` plus the inter-stage transfer;
+    * every task waits for the previous task in its own stage's 1F1B order.
+    """
+    pp, n = inputs.num_stages, inputs.num_microbatches
+    orders = [_stage_task_order(s, pp, n) for s in range(pp)]
+    pointers = [0] * pp
+    finish: Dict[Task, float] = {}
+    stage_free = [0.0] * pp
+    stage_busy = [0.0] * pp
+    remaining = sum(len(order) for order in orders)
+
+    def dependency_ready(task: Task) -> Tuple[bool, float]:
+        kind, stage, micro = task
+        if kind == "F":
+            if stage == 0:
+                return True, 0.0
+            upstream = finish.get(("F", stage - 1, micro))
+            if upstream is None:
+                return False, 0.0
+            return True, upstream + inputs.comm[stage - 1]
+        if stage == pp - 1:
+            upstream = finish.get(("F", stage, micro))
+            if upstream is None:
+                return False, 0.0
+            return True, upstream
+        downstream = finish.get(("B", stage + 1, micro))
+        if downstream is None:
+            return False, 0.0
+        return True, downstream + inputs.comm[stage]
+
+    while remaining > 0:
+        progressed = False
+        for stage in range(pp):
+            if pointers[stage] >= len(orders[stage]):
+                continue
+            task = orders[stage][pointers[stage]]
+            ready, dep_time = dependency_ready(task)
+            if not ready:
+                continue
+            kind = task[0]
+            duration = inputs.forward[stage] if kind == "F" else inputs.backward[stage]
+            start = max(stage_free[stage], dep_time)
+            end = start + duration
+            finish[task] = end
+            stage_free[stage] = end
+            stage_busy[stage] += duration
+            pointers[stage] += 1
+            remaining -= 1
+            progressed = True
+        if not progressed:
+            raise RuntimeError("1F1B schedule deadlocked; dependency graph is inconsistent")
+
+    iteration_time = max(stage_free)
+    return PipelineResult(
+        iteration_time=iteration_time,
+        stage_busy_time=tuple(stage_busy),
+        stage_finish_time=tuple(stage_free),
+    )
+
+
+def analytic_1f1b_time(
+    forward: float, backward: float, pp: int, num_microbatches: int
+) -> float:
+    """Closed-form 1F1B iteration time for homogeneous stages (used as a cross-check)."""
+    if pp <= 0 or num_microbatches <= 0:
+        raise ValueError("stages and micro-batches must be positive")
+    per_micro = forward + backward
+    return (num_microbatches + pp - 1) * per_micro

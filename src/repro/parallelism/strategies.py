@@ -1,0 +1,73 @@
+"""Parallelism configuration algebra.
+
+A :class:`ParallelismConfig` fixes the data-parallel (DP), tensor-parallel (TP) and
+pipeline-parallel (PP) degrees.  The central scheduler enumerates feasible (TP, PP)
+splits of the model-parallel dies with :func:`enumerate_tp_pp`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterator, List, Tuple
+
+
+@dataclass(frozen=True)
+class ParallelismConfig:
+    """Degrees of the three parallelism dimensions (Fig. 1's D(x)T(y)P(z) notation)."""
+
+    dp: int = 1
+    tp: int = 1
+    pp: int = 1
+
+    def __post_init__(self) -> None:
+        if self.dp <= 0 or self.tp <= 0 or self.pp <= 0:
+            raise ValueError("all parallelism degrees must be positive")
+
+    @property
+    def model_parallel_size(self) -> int:
+        """Dies holding one model replica (TP × PP)."""
+        return self.tp * self.pp
+
+    @property
+    def world_size(self) -> int:
+        return self.dp * self.tp * self.pp
+
+    def fits(self, num_devices: int) -> bool:
+        return self.world_size <= num_devices
+
+    def with_dp(self, dp: int) -> "ParallelismConfig":
+        return replace(self, dp=dp)
+
+    def label(self) -> str:
+        """The D(x)T(y)P(z) label used in the paper's figures."""
+        return f"D({self.dp})T({self.tp})P({self.pp})"
+
+
+def _divisors(value: int) -> List[int]:
+    return [d for d in range(1, value + 1) if value % d == 0]
+
+
+def enumerate_tp_pp(
+    model_parallel_dies: int,
+    num_layers: int,
+    require_even_tp: bool = True,
+    max_tp: int = 0,
+) -> Iterator[Tuple[int, int]]:
+    """Yield feasible (tp, pp) pairs with ``tp × pp == model_parallel_dies``.
+
+    ``require_even_tp`` reflects the 2D-mesh requirement in Alg. 1 that a TP instance
+    uses an even number of dies (so a ring can be embedded without a dangling die);
+    TP = 1 is always allowed.  PP is capped by the layer count so every stage holds at
+    least one layer.
+    """
+    if model_parallel_dies <= 0:
+        raise ValueError("model-parallel die count must be positive")
+    for tp in _divisors(model_parallel_dies):
+        pp = model_parallel_dies // tp
+        if pp > num_layers:
+            continue
+        if max_tp and tp > max_tp:
+            continue
+        if require_even_tp and tp > 1 and tp % 2 != 0:
+            continue
+        yield tp, pp

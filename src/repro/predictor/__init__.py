@@ -1,0 +1,13 @@
+"""Operator latency/memory predictors: analytical, DNN-based and the offline lookup table."""
+
+from repro.predictor.analytical import AnalyticalPredictor, OperatorEstimate
+from repro.predictor.dnn import MlpRegressor, DnnOperatorPredictor
+from repro.predictor.lookup import OperatorProfileTable
+
+__all__ = [
+    "AnalyticalPredictor",
+    "OperatorEstimate",
+    "MlpRegressor",
+    "DnnOperatorPredictor",
+    "OperatorProfileTable",
+]

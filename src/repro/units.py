@@ -1,0 +1,57 @@
+"""Unit constants and small conversion helpers used across the package.
+
+Conventions (documented in DESIGN.md):
+
+* sizes are in **bytes**
+* time is in **seconds**
+* bandwidth is in **bytes per second**
+* compute is in **FLOP per second** (FP16 unless stated otherwise)
+* silicon area is in **mm²**
+"""
+
+KB = 1024
+MB = 1024 ** 2
+GB = 1024 ** 3
+TB = 1024 ** 4
+
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+TERA = 1e12
+PETA = 1e15
+
+US = 1e-6
+MS = 1e-3
+NS = 1e-9
+
+FP16_BYTES = 2
+FP32_BYTES = 4
+
+#: Adam keeps two FP32 moments plus an FP32 master copy of the weights when the model
+#: itself is stored in FP16 (mixed-precision training, §V-A of the paper).
+ADAM_STATE_BYTES_PER_PARAM = 3 * FP32_BYTES
+
+
+def tflops(value: float) -> float:
+    """Convert TFLOPS to FLOP/s."""
+    return value * TERA
+
+
+def gbps(value: float) -> float:
+    """Convert GB/s to bytes/s (decimal gigabytes, matching vendor datasheets)."""
+    return value * 1e9
+
+
+def tbps(value: float) -> float:
+    """Convert TB/s to bytes/s (decimal terabytes, matching vendor datasheets)."""
+    return value * 1e12
+
+
+def gib(value: float) -> float:
+    """Convert GiB to bytes."""
+    return value * GB
+
+
+def mib(value: float) -> float:
+    """Convert MiB to bytes."""
+    return value * MB

@@ -1,0 +1,20 @@
+"""LLM workloads: model zoo, operator graphs and the training memory-footprint model."""
+
+from repro.workloads.operators import Operator, OperatorKind
+from repro.workloads.models import MODEL_ZOO, ModelConfig, get_model
+from repro.workloads.transformer import build_layer_graph, layer_flops, layer_checkpoint_bytes
+from repro.workloads.memory import TrainingMemoryModel
+from repro.workloads.workload import TrainingWorkload
+
+__all__ = [
+    "Operator",
+    "OperatorKind",
+    "MODEL_ZOO",
+    "ModelConfig",
+    "get_model",
+    "build_layer_graph",
+    "layer_flops",
+    "layer_checkpoint_bytes",
+    "TrainingMemoryModel",
+    "TrainingWorkload",
+]

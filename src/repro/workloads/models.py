@@ -1,0 +1,257 @@
+"""Model zoo: configurations of every model the paper evaluates.
+
+Dense transformers (Llama-2 30B, Llama-3 70B/405B, GPT-175B), MoE transformers
+(GShard-137B, DeepSeek-V3 671B, Qwen3-Next-80B-A3B) and the "emerging" architectures of
+Fig. 19 (generative recommender, Stable Diffusion 3.5 Large, Mamba-2.8B).
+
+Only shape information is needed by a cost-model study; parameter counts are derived from
+the shapes so that memory accounting stays self-consistent.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.units import FP16_BYTES
+
+
+class ModelFamily(enum.Enum):
+    """Architecture family; selects which operator-graph builder applies."""
+
+    TRANSFORMER = "transformer"
+    MOE_TRANSFORMER = "moe_transformer"
+    MAMBA = "mamba"
+    DIFFUSION = "diffusion"
+    RECOMMENDER = "recommender"
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Shape description of a model.
+
+    ``ffn_hidden`` is the MLP intermediate size.  ``gated_mlp`` marks SwiGLU-style MLPs
+    (three projection matrices instead of two).  For MoE models ``num_experts`` /
+    ``experts_per_token`` describe the routed expert MLPs; the dense attention path is
+    unchanged.
+    """
+
+    name: str
+    family: ModelFamily
+    num_layers: int
+    hidden_size: int
+    num_heads: int
+    num_kv_heads: int
+    ffn_hidden: int
+    vocab_size: int = 32000
+    default_seq_len: int = 4096
+    gated_mlp: bool = True
+    num_experts: int = 0
+    experts_per_token: int = 0
+    shared_experts: int = 0
+    state_dim: int = 0          # Mamba SSM state dimension
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.num_layers <= 0 or self.hidden_size <= 0:
+            raise ValueError("model must have positive depth and width")
+        if self.num_heads <= 0 or self.num_kv_heads <= 0:
+            raise ValueError("model must have positive head counts")
+        if self.hidden_size % self.num_heads != 0:
+            raise ValueError("hidden size must be divisible by the number of heads")
+        if self.family is ModelFamily.MOE_TRANSFORMER and self.num_experts <= 0:
+            raise ValueError("MoE models must declare num_experts")
+
+    @property
+    def head_dim(self) -> int:
+        return self.hidden_size // self.num_heads
+
+    @property
+    def kv_hidden(self) -> int:
+        return self.num_kv_heads * self.head_dim
+
+    @property
+    def is_moe(self) -> bool:
+        return self.family is ModelFamily.MOE_TRANSFORMER
+
+    # ------------------------------------------------------------------ parameters
+    @property
+    def attention_params_per_layer(self) -> int:
+        h, kv = self.hidden_size, self.kv_hidden
+        return h * h + 2 * h * kv + h * h  # Q, K, V, output projection
+
+    @property
+    def mlp_params_per_expert(self) -> int:
+        mats = 3 if self.gated_mlp else 2
+        return mats * self.hidden_size * self.ffn_hidden
+
+    @property
+    def mlp_params_per_layer(self) -> int:
+        if self.is_moe:
+            routed = self.num_experts * self.mlp_params_per_expert
+            shared = self.shared_experts * self.mlp_params_per_expert
+            router = self.hidden_size * self.num_experts
+            return routed + shared + router
+        return self.mlp_params_per_expert
+
+    @property
+    def params_per_layer(self) -> int:
+        norms = 2 * self.hidden_size
+        if self.family is ModelFamily.MAMBA:
+            # in/out projections + SSM parameters (A, B, C, dt) per layer
+            ssm = self.hidden_size * (4 * self.state_dim + 2) + 2 * self.hidden_size * self.ffn_hidden
+            return ssm + norms
+        return self.attention_params_per_layer + self.mlp_params_per_layer + norms
+
+    @property
+    def embedding_params(self) -> int:
+        return self.vocab_size * self.hidden_size
+
+    @property
+    def num_parameters(self) -> int:
+        """Total parameter count (embeddings counted once, untied output head included)."""
+        return self.num_layers * self.params_per_layer + 2 * self.embedding_params
+
+    @property
+    def active_params_per_layer(self) -> int:
+        """Parameters touched per token (differs from stored parameters for MoE)."""
+        norms = 2 * self.hidden_size
+        if self.is_moe:
+            active_mlp = (self.experts_per_token + self.shared_experts) * self.mlp_params_per_expert
+            router = self.hidden_size * self.num_experts
+            return self.attention_params_per_layer + active_mlp + router + norms
+        return self.params_per_layer
+
+    @property
+    def param_bytes(self) -> float:
+        return self.num_parameters * FP16_BYTES
+
+    def describe(self) -> Dict[str, float]:
+        return {
+            "name": self.name,
+            "family": self.family.value,
+            "layers": self.num_layers,
+            "hidden": self.hidden_size,
+            "params_billion": self.num_parameters / 1e9,
+        }
+
+
+def _dense(name, layers, hidden, heads, kv_heads, ffn, vocab=32000, seq=4096, gated=True):
+    return ModelConfig(
+        name=name,
+        family=ModelFamily.TRANSFORMER,
+        num_layers=layers,
+        hidden_size=hidden,
+        num_heads=heads,
+        num_kv_heads=kv_heads,
+        ffn_hidden=ffn,
+        vocab_size=vocab,
+        default_seq_len=seq,
+        gated_mlp=gated,
+    )
+
+
+MODEL_ZOO: Dict[str, ModelConfig] = {
+    # --- dense models used throughout the evaluation -------------------------------
+    "llama2-7b": _dense("llama2-7b", 32, 4096, 32, 32, 11008),
+    "llama-65b": _dense("llama-65b", 80, 8192, 64, 64, 22016),
+    "llama2-30b": _dense("llama2-30b", 60, 6656, 52, 52, 17920),
+    "llama3-70b": _dense("llama3-70b", 80, 8192, 64, 8, 28672, vocab=128256, seq=8192),
+    "llama3-405b": _dense("llama3-405b", 126, 16384, 128, 8, 53248, vocab=128256, seq=8192),
+    "gpt-175b": _dense("gpt-175b", 96, 12288, 96, 96, 49152, vocab=50257, seq=2048, gated=False),
+    # --- MoE models -----------------------------------------------------------------
+    "gshard-137b": ModelConfig(
+        name="gshard-137b",
+        family=ModelFamily.MOE_TRANSFORMER,
+        num_layers=36,
+        hidden_size=2048,
+        num_heads=32,
+        num_kv_heads=32,
+        ffn_hidden=8192,
+        vocab_size=32000,
+        default_seq_len=2048,
+        gated_mlp=False,
+        num_experts=128,
+        experts_per_token=2,
+    ),
+    "deepseek-v3-671b": ModelConfig(
+        name="deepseek-v3-671b",
+        family=ModelFamily.MOE_TRANSFORMER,
+        num_layers=61,
+        hidden_size=7168,
+        num_heads=128,
+        num_kv_heads=128,
+        ffn_hidden=2048,
+        vocab_size=129280,
+        default_seq_len=4096,
+        gated_mlp=True,
+        num_experts=256,
+        experts_per_token=8,
+        shared_experts=1,
+    ),
+    "qwen3-next-80b-a3b": ModelConfig(
+        name="qwen3-next-80b-a3b",
+        family=ModelFamily.MOE_TRANSFORMER,
+        num_layers=48,
+        hidden_size=2048,
+        num_heads=16,
+        num_kv_heads=2,
+        # Routed experts are narrow (512-wide intermediate): 512 experts x 48 layers
+        # lands at the model's ~80B stored parameters with ~3B active per token.
+        ffn_hidden=512,
+        vocab_size=151936,
+        default_seq_len=8192,
+        gated_mlp=True,
+        num_experts=512,
+        experts_per_token=10,
+        shared_experts=1,
+    ),
+    # --- emerging architectures (Fig. 19) --------------------------------------------
+    "mamba-2.8b": ModelConfig(
+        name="mamba-2.8b",
+        family=ModelFamily.MAMBA,
+        num_layers=64,
+        hidden_size=2560,
+        num_heads=1,
+        num_kv_heads=1,
+        ffn_hidden=5120,
+        vocab_size=50280,
+        default_seq_len=8192,
+        gated_mlp=False,
+        state_dim=128,
+    ),
+    "sd-3.5-large": ModelConfig(
+        name="sd-3.5-large",
+        family=ModelFamily.DIFFUSION,
+        num_layers=38,
+        hidden_size=2432,
+        num_heads=38,
+        num_kv_heads=38,
+        ffn_hidden=9728,
+        vocab_size=49408,
+        default_seq_len=4096,
+        gated_mlp=False,
+    ),
+    "gr-24": ModelConfig(
+        name="gr-24",
+        family=ModelFamily.RECOMMENDER,
+        num_layers=24,
+        hidden_size=4096,
+        num_heads=32,
+        num_kv_heads=32,
+        ffn_hidden=16384,
+        vocab_size=2000000,
+        default_seq_len=2048,
+        gated_mlp=False,
+    ),
+}
+
+
+def get_model(name: str) -> ModelConfig:
+    """Look up a model configuration by name, with a helpful error for typos."""
+    try:
+        return MODEL_ZOO[name]
+    except KeyError:
+        known = ", ".join(sorted(MODEL_ZOO))
+        raise KeyError(f"unknown model '{name}'; known models: {known}") from None

@@ -1,0 +1,114 @@
+"""Fundamental operator units (paper Fig. 10a).
+
+The paper decomposes a transformer block into a small set of operator units — layer
+normalisation, the Q/K/V/projection GEMMs, FlashAttention, the MLP GEMMs and the
+element-wise activation — each annotated with its compute, weight and checkpoint
+characteristics.  WATOS schedules recomputation at this operator granularity, so the
+operator is the atomic unit of the whole framework.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+
+class OperatorKind(enum.Enum):
+    """Computation type of an operator unit."""
+
+    GEMM = "gemm"
+    FLASH_ATTENTION = "flash_attention"
+    NORM = "norm"
+    ACTIVATION = "activation"
+    EMBEDDING = "embedding"
+    ROUTER = "router"
+    SCAN = "scan"          # Mamba-style selective state-space scan
+    CONV = "conv"          # diffusion / recommender convolutional blocks
+    ELEMENTWISE = "elementwise"
+
+
+#: Operator kinds whose forward output is usually worth checkpointing (large activation,
+#: cheap to recompute) — used as the default recomputation candidates.
+CHEAP_TO_RECOMPUTE = frozenset(
+    {OperatorKind.NORM, OperatorKind.ACTIVATION, OperatorKind.ELEMENTWISE}
+)
+
+
+@dataclass(frozen=True)
+class Operator:
+    """One operator unit of a model layer.
+
+    All quantities describe the **unsharded** operator for a single micro-batch; the TP
+    engine divides them by the tensor-parallel degree where appropriate.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier, unique within a layer graph.
+    kind:
+        Computation type (GEMM, FlashAttention, …).
+    flops:
+        Forward-pass floating point operations.
+    weight_bytes:
+        Parameter bytes owned by this operator (FP16).
+    checkpoint_bytes:
+        Bytes of the activation that must be retained for the backward pass if the
+        operator output is checkpointed rather than recomputed.
+    output_bytes:
+        Bytes produced for the next operator (used for inter-operator communication).
+    tp_shardable:
+        Whether tensor parallelism divides this operator's compute and weights.
+    tp_allreduce_bytes:
+        Bytes all-reduced across the TP group after this operator in the forward pass
+        (non-zero only for the row-parallel GEMMs that close a Megatron-style pair).
+    recomputable:
+        Whether the operator may be selected for recomputation by the GCMR scheduler.
+    """
+
+    name: str
+    kind: OperatorKind
+    flops: float
+    weight_bytes: float = 0.0
+    checkpoint_bytes: float = 0.0
+    output_bytes: float = 0.0
+    tp_shardable: bool = True
+    tp_allreduce_bytes: float = 0.0
+    recomputable: bool = True
+    metadata: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for attr in ("flops", "weight_bytes", "checkpoint_bytes", "output_bytes", "tp_allreduce_bytes"):
+            if getattr(self, attr) < 0:
+                raise ValueError(f"operator '{self.name}': {attr} cannot be negative")
+
+    @property
+    def backward_flops(self) -> float:
+        """Backward pass costs roughly twice the forward FLOPs (grad wrt input + weights)."""
+        return 2.0 * self.flops
+
+    def sharded(self, tp: int) -> "Operator":
+        """The per-die view of this operator under a TP degree of ``tp``."""
+        if tp <= 0:
+            raise ValueError("tensor parallel degree must be positive")
+        if tp == 1 or not self.tp_shardable:
+            return self
+        return replace(
+            self,
+            flops=self.flops / tp,
+            weight_bytes=self.weight_bytes / tp,
+            checkpoint_bytes=self.checkpoint_bytes / tp,
+            output_bytes=self.output_bytes / tp,
+        )
+
+    def scaled(self, factor: float) -> "Operator":
+        """Scale all extensive quantities (used for batch-size / sequence scaling)."""
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        return replace(
+            self,
+            flops=self.flops * factor,
+            checkpoint_bytes=self.checkpoint_bytes * factor,
+            output_bytes=self.output_bytes * factor,
+            tp_allreduce_bytes=self.tp_allreduce_bytes * factor,
+        )

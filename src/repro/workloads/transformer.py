@@ -1,0 +1,235 @@
+"""Operator-graph builders for the model families in the zoo.
+
+``build_layer_graph`` decomposes one layer of a model into the operator units of
+Fig. 10a.  The returned operators are *unsharded* and describe a single micro-batch;
+the TP engine later divides compute/weights by the tensor-parallel degree, and the
+pipeline model multiplies by the number of layers per stage and micro-batches.
+
+Per-operator ``checkpoint_bytes`` is the activation retained for the backward pass when
+the operator is **not** recomputed; dropping the checkpoint and re-running the forward
+pass during backward is exactly the recomputation choice GCMR schedules.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.units import FP16_BYTES
+from repro.workloads.models import ModelConfig, ModelFamily
+from repro.workloads.operators import Operator, OperatorKind
+
+
+def _act_bytes(batch: int, seq: int, width: int) -> float:
+    return float(batch * seq * width * FP16_BYTES)
+
+
+def _norm(name: str, model: ModelConfig, batch: int, seq: int) -> Operator:
+    h = model.hidden_size
+    return Operator(
+        name=name,
+        kind=OperatorKind.NORM,
+        flops=5.0 * batch * seq * h,
+        weight_bytes=2.0 * h * FP16_BYTES,
+        checkpoint_bytes=_act_bytes(batch, seq, h),
+        output_bytes=_act_bytes(batch, seq, h),
+        tp_shardable=False,
+    )
+
+
+def _attention_ops(model: ModelConfig, batch: int, seq: int, causal: bool) -> List[Operator]:
+    h = model.hidden_size
+    kv = model.kv_hidden
+    qkv_width = h + 2 * kv
+    ops = [
+        _norm("attn_norm", model, batch, seq),
+        Operator(
+            name="qkv_proj",
+            kind=OperatorKind.GEMM,
+            flops=2.0 * batch * seq * h * qkv_width,
+            weight_bytes=h * qkv_width * FP16_BYTES,
+            checkpoint_bytes=_act_bytes(batch, seq, qkv_width),
+            output_bytes=_act_bytes(batch, seq, qkv_width),
+        ),
+        Operator(
+            name="flash_attention",
+            kind=OperatorKind.FLASH_ATTENTION,
+            flops=(2.0 if causal else 4.0) * batch * seq * seq * h,
+            weight_bytes=0.0,
+            # FlashAttention only retains the output and the softmax statistics, not the
+            # full S×S score matrix — its distinguishing memory characteristic (§IV-B).
+            checkpoint_bytes=_act_bytes(batch, seq, h) + batch * seq * model.num_heads * 4.0,
+            output_bytes=_act_bytes(batch, seq, h),
+        ),
+        Operator(
+            name="attn_out_proj",
+            kind=OperatorKind.GEMM,
+            flops=2.0 * batch * seq * h * h,
+            weight_bytes=h * h * FP16_BYTES,
+            checkpoint_bytes=_act_bytes(batch, seq, h),
+            output_bytes=_act_bytes(batch, seq, h),
+            # Row-parallel GEMM closing the Megatron attention pair: its output is
+            # all-reduced across the TP group in the forward pass.
+            tp_allreduce_bytes=_act_bytes(batch, seq, h),
+        ),
+    ]
+    return ops
+
+
+def _mlp_ops(model: ModelConfig, batch: int, seq: int) -> List[Operator]:
+    h, f = model.hidden_size, model.ffn_hidden
+    up_matrices = 2 if model.gated_mlp else 1
+    ops = [
+        _norm("mlp_norm", model, batch, seq),
+        Operator(
+            name="mlp_up_proj",
+            kind=OperatorKind.GEMM,
+            flops=2.0 * batch * seq * h * f * up_matrices,
+            weight_bytes=up_matrices * h * f * FP16_BYTES,
+            checkpoint_bytes=_act_bytes(batch, seq, f * up_matrices),
+            output_bytes=_act_bytes(batch, seq, f * up_matrices),
+        ),
+        Operator(
+            name="mlp_activation",
+            kind=OperatorKind.ACTIVATION,
+            flops=8.0 * batch * seq * f,
+            checkpoint_bytes=_act_bytes(batch, seq, f),
+            output_bytes=_act_bytes(batch, seq, f),
+            tp_shardable=True,
+        ),
+        Operator(
+            name="mlp_down_proj",
+            kind=OperatorKind.GEMM,
+            flops=2.0 * batch * seq * f * h,
+            weight_bytes=f * h * FP16_BYTES,
+            checkpoint_bytes=_act_bytes(batch, seq, h),
+            output_bytes=_act_bytes(batch, seq, h),
+            tp_allreduce_bytes=_act_bytes(batch, seq, h),
+        ),
+    ]
+    return ops
+
+
+def _moe_mlp_ops(model: ModelConfig, batch: int, seq: int) -> List[Operator]:
+    h, f = model.hidden_size, model.ffn_hidden
+    up_matrices = 2 if model.gated_mlp else 1
+    active = model.experts_per_token + model.shared_experts
+    stored = model.num_experts + model.shared_experts
+    router = Operator(
+        name="moe_router",
+        kind=OperatorKind.ROUTER,
+        flops=2.0 * batch * seq * h * model.num_experts,
+        weight_bytes=h * model.num_experts * FP16_BYTES,
+        checkpoint_bytes=_act_bytes(batch, seq, model.num_experts),
+        output_bytes=_act_bytes(batch, seq, h),
+        tp_shardable=False,
+        metadata={"all_to_all_bytes": _act_bytes(batch, seq, h)},
+    )
+    expert_up = Operator(
+        name="moe_expert_up",
+        kind=OperatorKind.GEMM,
+        flops=2.0 * batch * seq * h * f * up_matrices * active,
+        weight_bytes=stored * up_matrices * h * f * FP16_BYTES,
+        checkpoint_bytes=_act_bytes(batch, seq, f * up_matrices) * active,
+        output_bytes=_act_bytes(batch, seq, f * up_matrices) * active,
+    )
+    expert_act = Operator(
+        name="moe_expert_activation",
+        kind=OperatorKind.ACTIVATION,
+        flops=8.0 * batch * seq * f * active,
+        checkpoint_bytes=_act_bytes(batch, seq, f) * active,
+        output_bytes=_act_bytes(batch, seq, f) * active,
+    )
+    expert_down = Operator(
+        name="moe_expert_down",
+        kind=OperatorKind.GEMM,
+        flops=2.0 * batch * seq * f * h * active,
+        weight_bytes=stored * f * h * FP16_BYTES,
+        checkpoint_bytes=_act_bytes(batch, seq, h),
+        output_bytes=_act_bytes(batch, seq, h),
+        tp_allreduce_bytes=_act_bytes(batch, seq, h),
+    )
+    return [_norm("mlp_norm", model, batch, seq), router, expert_up, expert_act, expert_down]
+
+
+def _mamba_ops(model: ModelConfig, batch: int, seq: int) -> List[Operator]:
+    h, f, n = model.hidden_size, model.ffn_hidden, max(model.state_dim, 16)
+    return [
+        _norm("mamba_norm", model, batch, seq),
+        Operator(
+            name="mamba_in_proj",
+            kind=OperatorKind.GEMM,
+            flops=2.0 * batch * seq * h * f,
+            weight_bytes=h * f * FP16_BYTES,
+            checkpoint_bytes=_act_bytes(batch, seq, f),
+            output_bytes=_act_bytes(batch, seq, f),
+        ),
+        Operator(
+            name="selective_scan",
+            kind=OperatorKind.SCAN,
+            flops=10.0 * batch * seq * f * n,
+            weight_bytes=(4.0 * n + 2.0) * h * FP16_BYTES,
+            checkpoint_bytes=_act_bytes(batch, seq, f),
+            output_bytes=_act_bytes(batch, seq, f),
+            tp_shardable=True,
+        ),
+        Operator(
+            name="mamba_out_proj",
+            kind=OperatorKind.GEMM,
+            flops=2.0 * batch * seq * f * h,
+            weight_bytes=f * h * FP16_BYTES,
+            checkpoint_bytes=_act_bytes(batch, seq, h),
+            output_bytes=_act_bytes(batch, seq, h),
+            tp_allreduce_bytes=_act_bytes(batch, seq, h),
+        ),
+    ]
+
+
+def build_layer_graph(model: ModelConfig, batch: int, seq: int) -> List[Operator]:
+    """Return the ordered operator units of one layer of ``model``.
+
+    Parameters
+    ----------
+    model:
+        Model configuration from the zoo.
+    batch:
+        Micro-batch size (sequences).
+    seq:
+        Sequence length (tokens per sequence).
+    """
+    if batch <= 0 or seq <= 0:
+        raise ValueError("batch size and sequence length must be positive")
+    if model.family is ModelFamily.MAMBA:
+        return _mamba_ops(model, batch, seq)
+    causal = model.family in (ModelFamily.TRANSFORMER, ModelFamily.MOE_TRANSFORMER,
+                              ModelFamily.RECOMMENDER)
+    ops = _attention_ops(model, batch, seq, causal=causal)
+    if model.is_moe:
+        ops.extend(_moe_mlp_ops(model, batch, seq))
+    else:
+        ops.extend(_mlp_ops(model, batch, seq))
+    return ops
+
+
+def layer_flops(model: ModelConfig, batch: int, seq: int) -> float:
+    """Total forward FLOPs of one layer for one micro-batch."""
+    return sum(op.flops for op in build_layer_graph(model, batch, seq))
+
+
+def layer_checkpoint_bytes(model: ModelConfig, batch: int, seq: int) -> float:
+    """Bytes of activation checkpoints one layer retains when nothing is recomputed."""
+    return sum(op.checkpoint_bytes for op in build_layer_graph(model, batch, seq))
+
+
+def embedding_operator(model: ModelConfig, batch: int, seq: int) -> Operator:
+    """The (shared) input embedding / output head operator, placed on the edge stages."""
+    h, v = model.hidden_size, model.vocab_size
+    return Operator(
+        name="embedding",
+        kind=OperatorKind.EMBEDDING,
+        flops=2.0 * batch * seq * h * v,
+        weight_bytes=2.0 * v * h * FP16_BYTES,
+        checkpoint_bytes=_act_bytes(batch, seq, h),
+        output_bytes=_act_bytes(batch, seq, h),
+        tp_shardable=True,
+        recomputable=False,
+    )

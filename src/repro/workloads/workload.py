@@ -1,0 +1,93 @@
+"""Training workload descriptor: a model plus batching/sequence parameters.
+
+This is the ``W`` that flows through Algorithms 1–3 of the paper.  It bundles the model
+configuration with global batch size, micro-batch size and sequence length, and exposes
+the derived quantities (micro-batch count, FLOPs per iteration, modelP bytes) the
+schedulers need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List
+
+from repro.workloads.memory import TrainingMemoryModel
+from repro.workloads.models import ModelConfig
+from repro.workloads.operators import Operator
+from repro.workloads.transformer import build_layer_graph, layer_flops
+
+
+@dataclass(frozen=True)
+class TrainingWorkload:
+    """A model together with the batching parameters of one training iteration."""
+
+    model: ModelConfig
+    global_batch_size: int = 512
+    micro_batch_size: int = 1
+    sequence_length: int = 0  # 0 → use the model's default
+
+    def __post_init__(self) -> None:
+        if self.global_batch_size <= 0 or self.micro_batch_size <= 0:
+            raise ValueError("batch sizes must be positive")
+        if self.global_batch_size % self.micro_batch_size != 0:
+            raise ValueError("global batch size must be a multiple of the micro-batch size")
+        if self.sequence_length < 0:
+            raise ValueError("sequence length cannot be negative")
+
+    @property
+    def seq_len(self) -> int:
+        return self.sequence_length or self.model.default_seq_len
+
+    def with_sequence_length(self, seq: int) -> "TrainingWorkload":
+        return replace(self, sequence_length=seq)
+
+    def with_batch(self, global_batch_size: int, micro_batch_size: int = 1) -> "TrainingWorkload":
+        return replace(
+            self, global_batch_size=global_batch_size, micro_batch_size=micro_batch_size
+        )
+
+    # ------------------------------------------------------------------ derived sizes
+    def num_microbatches(self, dp: int = 1) -> int:
+        """Micro-batches per pipeline per iteration for a data-parallel degree of ``dp``."""
+        if dp <= 0:
+            raise ValueError("data parallel degree must be positive")
+        per_replica = self.global_batch_size // dp
+        if per_replica == 0:
+            raise ValueError("global batch size is smaller than the data-parallel degree")
+        return max(1, per_replica // self.micro_batch_size)
+
+    @property
+    def tokens_per_iteration(self) -> int:
+        return self.global_batch_size * self.seq_len
+
+    @property
+    def memory_model(self) -> TrainingMemoryModel:
+        return TrainingMemoryModel(self.model)
+
+    @property
+    def model_state_bytes(self) -> float:
+        """modelP: weights + gradients + optimizer states for the whole model."""
+        return self.memory_model.total_model_state_bytes()
+
+    def layer_operators(self) -> List[Operator]:
+        """Operator units of one layer for one micro-batch."""
+        return build_layer_graph(self.model, self.micro_batch_size, self.seq_len)
+
+    def microbatch_layer_flops(self) -> float:
+        """Forward FLOPs of one layer for one micro-batch."""
+        return layer_flops(self.model, self.micro_batch_size, self.seq_len)
+
+    def iteration_flops(self) -> float:
+        """Total forward+backward FLOPs of one training iteration (backward ≈ 2× forward)."""
+        microbatches = self.global_batch_size // self.micro_batch_size
+        fwd = self.microbatch_layer_flops() * self.model.num_layers * microbatches
+        return 3.0 * fwd
+
+    def describe(self) -> dict:
+        return {
+            "model": self.model.name,
+            "global_batch": self.global_batch_size,
+            "micro_batch": self.micro_batch_size,
+            "seq_len": self.seq_len,
+            "iteration_pflops": self.iteration_flops() / 1e15,
+        }

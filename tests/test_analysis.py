@@ -1,0 +1,97 @@
+"""Metrics normalisation, speedups, heatmaps and report formatting."""
+
+import math
+
+import pytest
+
+from repro.analysis.metrics import (
+    geomean,
+    normalize,
+    normalize_results,
+    speedup,
+    utilization_heatmap,
+)
+from repro.analysis.reporting import Report, format_series, format_table
+from repro.core.evaluator import EvaluationResult
+from repro.core.placement import serpentine_placement
+
+
+class TestNormalize:
+    def test_minimum_becomes_one(self):
+        normalised = normalize({"a": 2.0, "b": 4.0, "c": 8.0})
+        assert normalised["a"] == pytest.approx(1.0)
+        assert normalised["c"] == pytest.approx(4.0)
+
+    def test_max_mode(self):
+        normalised = normalize({"a": 2.0, "b": 4.0}, mode="max")
+        assert normalised["b"] == pytest.approx(1.0)
+
+    def test_degenerate_values_become_zero(self):
+        normalised = normalize({"a": 2.0, "oom": 0.0, "inf": float("inf")})
+        assert normalised["oom"] == 0.0 and normalised["inf"] == 0.0
+
+    def test_all_degenerate_is_all_zero(self):
+        assert normalize({"a": 0.0, "b": float("nan")}) == {"a": 0.0, "b": 0.0}
+
+    def test_normalize_results_by_throughput_and_time(self):
+        fast = EvaluationResult(iteration_time=1.0, useful_flops=100.0, recompute_flops=0.0)
+        slow = EvaluationResult(iteration_time=2.0, useful_flops=100.0, recompute_flops=0.0)
+        results = {"fast": fast, "slow": slow}
+        assert normalize_results(results, "throughput")["fast"] == pytest.approx(2.0)
+        assert normalize_results(results, "iteration_time")["slow"] == pytest.approx(2.0)
+        assert normalize_results(results, "total_throughput")["fast"] == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            normalize_results(results, "mfu")
+
+
+class TestSpeedupAndGeomean:
+    def test_speedup(self):
+        assert speedup(4.0, 2.0) == pytest.approx(2.0)
+        assert speedup(4.0, 0.0) == 0.0
+
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geomean([]) == 0.0
+        assert geomean([0.0, -1.0]) == 0.0
+
+
+class TestHeatmap:
+    def test_grid_shape_and_values(self):
+        placement = serpentine_placement(4, 4, (2, 2), 4)
+        memory = [1e9, 2e9, 3e9, 4e9]
+        grid = utilization_heatmap(placement, memory, 4e9, 4, 4)
+        assert len(grid) == 4 and len(grid[0]) == 4
+        flat = [v for row in grid for v in row]
+        assert max(flat) == pytest.approx(1.0)
+        assert min(flat) == pytest.approx(0.25)
+
+    def test_capacity_must_be_positive(self):
+        placement = serpentine_placement(2, 2, (1, 1), 4)
+        with pytest.raises(ValueError):
+            utilization_heatmap(placement, [1.0] * 4, 0.0, 2, 2)
+
+
+class TestReporting:
+    def test_format_table_alignment_and_values(self):
+        text = format_table("demo", {"a": {"x": 1.0}, "b": {"x": 2.5}})
+        assert "demo" in text and "2.500" in text
+
+    def test_format_table_missing_cell_shows_dash(self):
+        text = format_table("demo", {"a": {"x": 1.0}, "b": {"y": 2.0}}, columns=["x", "y"])
+        assert "-" in text
+
+    def test_empty_table(self):
+        assert "(no data)" in format_table("empty", {})
+
+    def test_format_series(self):
+        text = format_series("curves", {"ga": [1.0, 0.5, 0.25]})
+        assert "ga" in text and "0.250" in text
+
+    def test_report_renders_all_sections(self):
+        report = Report("My Report")
+        report.add_table("tbl", {"a": {"x": 1.0}})
+        report.add_series("curve", {"s": [1.0]})
+        report.add_text("note")
+        rendered = report.render()
+        assert "My Report" in rendered and "tbl" in rendered and "note" in rendered
+        assert str(report) == rendered

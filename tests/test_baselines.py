@@ -1,0 +1,115 @@
+"""GPU baseline evaluator, Megatron-wafer / Cerebras strategies and prior DSE frameworks."""
+
+import pytest
+
+from repro.baselines.dse_frameworks import DSE_FRAMEWORKS, evaluate_dse_framework
+from repro.baselines.gpu_system import GpuEvaluator, megatron_gpu_result
+from repro.baselines.wafer_strategies import cerebras_wafer_result, megatron_wafer_plan
+from repro.core.central_scheduler import CentralScheduler
+from repro.hardware.configs import dgx_b300_equalized, dgx_b300_node, nvl72_gb300, wafer_config3
+from repro.parallelism.strategies import ParallelismConfig
+from repro.workloads.models import get_model
+from repro.workloads.workload import TrainingWorkload
+
+from conftest import make_small_wafer, make_tiny_model
+
+
+@pytest.fixture(scope="module")
+def llama30b_workload() -> TrainingWorkload:
+    return TrainingWorkload(
+        get_model("llama2-30b"), global_batch_size=128, micro_batch_size=2,
+        sequence_length=4096,
+    )
+
+
+class TestGpuEvaluator:
+    def test_basic_evaluation(self, llama30b_workload):
+        result = GpuEvaluator(dgx_b300_node()).evaluate(llama30b_workload)
+        assert not result.oom
+        assert result.iteration_time > 0 and result.throughput > 0
+
+    def test_default_parallelism_comes_from_megatron(self, llama30b_workload):
+        result = megatron_gpu_result(llama30b_workload)
+        assert "T(8)" in result.plan_label
+
+    def test_explicit_parallelism_respected(self, llama30b_workload):
+        evaluator = GpuEvaluator(dgx_b300_node())
+        result = evaluator.evaluate(llama30b_workload, ParallelismConfig(dp=1, tp=4, pp=2))
+        assert result.plan_label == "D(1)T(4)P(2)"
+
+    def test_oversized_parallelism_rejected(self, llama30b_workload):
+        with pytest.raises(ValueError):
+            GpuEvaluator(dgx_b300_node()).evaluate(
+                llama30b_workload, ParallelismConfig(dp=1, tp=8, pp=4)
+            )
+
+    def test_equalized_node_is_slower_than_full_bandwidth_node(self, llama30b_workload):
+        # §V-C equalisation caps HBM bandwidth at 2 TB/s, which costs performance.
+        full = GpuEvaluator(dgx_b300_node()).evaluate(llama30b_workload)
+        equalized = GpuEvaluator(dgx_b300_equalized()).evaluate(llama30b_workload)
+        assert equalized.throughput <= full.throughput
+
+    def test_nvl72_handles_many_gpus(self):
+        workload = TrainingWorkload(get_model("llama3-70b"), 64, 1, 4096)
+        result = GpuEvaluator(nvl72_gb300(56)).evaluate(
+            workload, ParallelismConfig(dp=1, tp=4, pp=14)
+        )
+        assert not result.oom and result.throughput > 0
+
+
+class TestWaferStrategies:
+    def test_megatron_wafer_plan_uses_megatron_tp(self, config3, llama30b_workload):
+        plan, result = megatron_wafer_plan(config3, llama30b_workload)
+        assert plan is not None and not result.oom
+        assert plan.parallelism.tp == 8
+
+    def test_watos_beats_megatron_wafer(self, config3, llama30b_workload):
+        _, mg_result = megatron_wafer_plan(config3, llama30b_workload)
+        watos = CentralScheduler(config3).best(llama30b_workload)
+        assert watos.result.throughput >= mg_result.throughput
+
+    def test_cerebras_result_fields(self, config3, llama30b_workload):
+        result = cerebras_wafer_result(config3, llama30b_workload)
+        assert result.plan_label == "weight-streaming"
+        assert result.iteration_time > 0 and result.throughput > 0
+
+    def test_watos_beats_cerebras(self, config3, llama30b_workload):
+        cerebras = cerebras_wafer_result(config3, llama30b_workload)
+        watos = CentralScheduler(config3).best(llama30b_workload)
+        assert watos.result.throughput > cerebras.throughput
+
+
+class TestDseFrameworks:
+    def test_registry_contains_all_eight_entries(self):
+        assert set(DSE_FRAMEWORKS) == {
+            "timeloop", "dfmodel", "calculon", "hecaton", "gemini", "pd", "wsc-llm", "watos",
+        }
+
+    def test_unknown_framework_raises(self, small_wafer, tiny_workload):
+        with pytest.raises(KeyError):
+            evaluate_dse_framework("maestro", small_wafer, tiny_workload)
+
+    @pytest.mark.parametrize("name", sorted(DSE_FRAMEWORKS))
+    def test_every_framework_produces_a_result(self, name, small_wafer, tiny_workload):
+        result = evaluate_dse_framework(name, small_wafer, tiny_workload)
+        assert result.oom or result.throughput > 0
+
+    def test_watos_leads_or_ties_the_frameworks(self, small_wafer, tiny_workload):
+        # On the toy wafer the activation volumes are tiny, so mesh-aware baselines can
+        # land within a few percent of WATOS; the strict ordering at LLM scale is checked
+        # in test_integration.py.  Here WATOS must stay within 5% of the best and must
+        # strictly beat the frameworks that ignore the mesh topology.
+        results = {
+            name: evaluate_dse_framework(name, small_wafer, tiny_workload)
+            for name in DSE_FRAMEWORKS
+        }
+        watos = results.pop("watos")
+        best_other = max(result.throughput for result in results.values())
+        assert watos.throughput >= 0.95 * best_other
+        for name in ("timeloop", "dfmodel", "calculon"):
+            assert watos.throughput >= results[name].throughput * 0.999, name
+
+    def test_timeloop_is_weakest_wafer_aware_entry(self, small_wafer, tiny_workload):
+        timeloop = evaluate_dse_framework("timeloop", small_wafer, tiny_workload)
+        wsc_llm = evaluate_dse_framework("wsc-llm", small_wafer, tiny_workload)
+        assert wsc_llm.throughput >= timeloop.throughput

@@ -1,0 +1,154 @@
+"""WATOS framework front-end, robustness evaluator and die-granularity hardware DSE."""
+
+import pytest
+
+from repro.core.central_scheduler import CentralScheduler
+from repro.core.framework import Watos, WatosResult, WorkloadOutcome
+from repro.core.genetic import GAConfig
+from repro.core.hardware_dse import DieGranularityDse, classify_die
+from repro.core.robustness import RobustnessEvaluator
+from repro.workloads.workload import TrainingWorkload
+
+from conftest import make_small_wafer, make_tiny_model
+
+
+class TestWatosFramework:
+    @pytest.fixture(scope="class")
+    def exploration(self):
+        wafers = [make_small_wafer(dram_gb=2.0), make_small_wafer(dram_gb=8.0)]
+        wafers[0] = wafers[0].with_die(wafers[0].die)  # distinct objects
+        from dataclasses import replace
+        wafers = [replace(wafers[0], name="wafer-tight"), replace(wafers[1], name="wafer-roomy")]
+        model = make_tiny_model()
+        workloads = [
+            TrainingWorkload(model, 16, 2, 1024),
+            TrainingWorkload(model, 16, 4, 1024),
+        ]
+        watos = Watos(candidates=wafers, use_ga=True,
+                      ga_config=GAConfig(population_size=4, generations=2, seed=0))
+        return watos.explore(workloads), wafers, workloads
+
+    def test_outcomes_cover_every_pair(self, exploration):
+        result, wafers, workloads = exploration
+        assert len(result.outcomes) == len(wafers) * len(workloads)
+
+    def test_exploration_records_keyed_by_wafer_and_model(self, exploration):
+        result, wafers, workloads = exploration
+        for wafer in wafers:
+            for workload in workloads:
+                assert f"{wafer.name}/{workload.model.name}" in result.exploration_records
+
+    def test_best_wafer_is_one_of_the_candidates(self, exploration):
+        result, wafers, _ = exploration
+        assert result.best_wafer() in {w.name for w in wafers}
+
+    def test_outcome_queries(self, exploration):
+        result, wafers, workloads = exploration
+        per_wafer = result.outcomes_for_wafer(wafers[0].name)
+        assert len(per_wafer) == len(workloads)
+        best = result.best_outcome(workloads[0].model.name)
+        assert best is not None and best.throughput > 0
+
+    def test_optimize_single_point(self):
+        wafer = make_small_wafer()
+        workload = TrainingWorkload(make_tiny_model(), 16, 2, 1024)
+        watos = Watos(candidates=[wafer], use_ga=False)
+        outcome = watos.optimize(wafer, workload)
+        assert outcome is not None
+        scheduler_best = CentralScheduler(wafer).best(workload)
+        assert outcome.result.throughput == pytest.approx(
+            scheduler_best.result.throughput, rel=0.01
+        )
+
+    def test_empty_candidate_list_rejected(self):
+        with pytest.raises(ValueError):
+            Watos(candidates=[])
+
+    def test_ga_refinement_never_hurts(self):
+        wafer = make_small_wafer(dram_gb=1.0)
+        workload = TrainingWorkload(make_tiny_model(), 32, 8, 2048)
+        no_ga = Watos(candidates=[wafer], use_ga=False).optimize(wafer, workload)
+        with_ga = Watos(
+            candidates=[wafer], use_ga=True,
+            ga_config=GAConfig(population_size=4, generations=3, seed=1),
+        ).optimize(wafer, workload)
+        assert with_ga.result.throughput >= no_ga.result.throughput * 0.999
+
+
+class TestRobustness:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        wafer = make_small_wafer()
+        workload = TrainingWorkload(make_tiny_model(), 16, 2, 1024)
+        plan = CentralScheduler(wafer).best(workload).plan
+        return wafer, workload, plan
+
+    def test_zero_faults_give_equal_throughput(self, setup):
+        wafer, workload, plan = setup
+        point = RobustnessEvaluator(wafer, workload, plan).point()
+        assert point.robust_throughput == pytest.approx(point.baseline_throughput)
+        assert point.improvement == pytest.approx(1.0)
+
+    def test_robust_mode_degrades_more_gracefully(self, setup):
+        wafer, workload, plan = setup
+        evaluator = RobustnessEvaluator(wafer, workload, plan, seed=3)
+        point = evaluator.point(die_fault_rate=0.3)
+        assert point.robust_throughput >= point.baseline_throughput
+
+    def test_throughput_decreases_with_fault_rate(self, setup):
+        wafer, workload, plan = setup
+        evaluator = RobustnessEvaluator(wafer, workload, plan, seed=1)
+        sweep = evaluator.sweep_die_faults([0.0, 0.4])
+        assert sweep[1].robust_throughput <= sweep[0].robust_throughput
+
+    def test_link_fault_sweep_shape(self, setup):
+        wafer, workload, plan = setup
+        sweep = RobustnessEvaluator(wafer, workload, plan).sweep_link_faults([0.0, 0.2, 0.4])
+        assert [p.fault_rate for p in sweep] == [0.0, 0.2, 0.4]
+
+
+class TestHardwareDse:
+    def test_classification_boundaries(self):
+        assert classify_die(399.0, 1.0) == ("small", "square")
+        assert classify_die(400.0, 1.0) == ("large", "square")
+        assert classify_die(300.0, 1.6) == ("small", "rectangle")
+
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        workload = TrainingWorkload(make_tiny_model(), 16, 2, 1024)
+        dse = DieGranularityDse(workload, areas_mm2=(200.0, 500.0), aspect_ratios=(1.0, 1.8))
+        return dse, dse.sweep(max_tp=4)
+
+    def test_sweep_covers_all_design_points(self, sweep):
+        _, points = sweep
+        assert len(points) == 4
+        categories = {p.category for p in points}
+        assert "small-square" in categories and "large-rectangle" in categories
+
+    def test_objective_normalised_to_unit_box(self, sweep):
+        _, points = sweep
+        assert all(0.0 <= p.throughput <= 1.0 for p in points)
+        assert all(0.0 <= p.memory_capacity <= 1.0 for p in points)
+
+    def test_small_square_beats_large_rectangle(self, sweep):
+        # Fig. 25's headline: Small Square designs dominate Large Rectangle designs on
+        # the memory-capacity × throughput objective.
+        _, points = sweep
+        by_category = {p.category: p for p in points}
+        assert by_category["small-square"].objective >= by_category["large-rectangle"].objective
+
+    def test_smaller_dies_tile_more_dies_per_wafer(self, sweep):
+        dse, _ = sweep
+        small = dse.build_wafer(200.0, 1.0)
+        large = dse.build_wafer(500.0, 1.0)
+        assert small.num_dies > large.num_dies
+
+    def test_best_point_has_maximal_objective(self, sweep):
+        dse, points = sweep
+        best = dse.best_point(points)
+        assert best.objective == pytest.approx(max(p.objective for p in points))
+
+    def test_best_point_requires_data(self, sweep):
+        dse, _ = sweep
+        with pytest.raises(ValueError):
+            dse.best_point([])

@@ -1,0 +1,96 @@
+"""Area model: wafer fit checks and the IO-budget trade-off of Fig. 4."""
+
+import pytest
+
+from repro.hardware.area import AreaBudgetError, AreaModel
+from repro.hardware.template import DieConfig, DramChipletConfig, WaferConfig
+
+from conftest import make_small_wafer
+
+
+@pytest.fixture
+def area_model() -> AreaModel:
+    return AreaModel()
+
+
+class TestFit:
+    def test_small_wafer_fits(self, area_model, small_wafer):
+        assert area_model.fits(small_wafer)
+        area_model.validate(small_wafer)  # must not raise
+
+    def test_oversized_grid_does_not_fit(self, area_model, small_wafer):
+        too_big = small_wafer.with_grid(40, 40)
+        assert not area_model.fits(too_big)
+        with pytest.raises(AreaBudgetError):
+            area_model.validate(too_big)
+
+    def test_area_utilization_increases_with_dies(self, area_model, small_wafer):
+        denser = small_wafer.with_grid(5, 5)
+        assert area_model.area_utilization(denser) > area_model.area_utilization(small_wafer)
+
+    def test_usable_area_below_raw_area(self, area_model, small_wafer):
+        assert area_model.usable_area(small_wafer) < small_wafer.usable_area_mm2
+
+
+class TestIoBudget:
+    def test_more_dram_chiplets_reduce_d2d_bandwidth(self, area_model, small_wafer):
+        die = small_wafer.die
+        few = area_model.derive_d2d_bandwidth(
+            DieConfig(compute=die.compute, dram_chiplet=die.dram_chiplet, num_dram_chiplets=2)
+        )
+        many = area_model.derive_d2d_bandwidth(
+            DieConfig(compute=die.compute, dram_chiplet=die.dram_chiplet, num_dram_chiplets=6)
+        )
+        assert many < few
+
+    def test_3d_stacking_frees_full_edge_budget(self, area_model, small_wafer):
+        die = small_wafer.die
+        stacked = DieConfig(
+            compute=die.compute, dram_chiplet=die.dram_chiplet,
+            num_dram_chiplets=6, stacked_3d=True,
+        )
+        assert area_model.derive_d2d_bandwidth(stacked) == pytest.approx(
+            die.compute.edge_io_bandwidth
+        )
+
+    def test_apply_io_budget_writes_derived_bandwidth(self, area_model, small_wafer):
+        die = area_model.apply_io_budget(small_wafer.die)
+        assert die.d2d_bandwidth == pytest.approx(
+            area_model.derive_d2d_bandwidth(small_wafer.die)
+        )
+
+    def test_bandwidth_never_negative(self, area_model, small_wafer):
+        die = small_wafer.die
+        saturated = DieConfig(
+            compute=die.compute,
+            dram_chiplet=DramChipletConfig(interface_bandwidth=5e12),
+            num_dram_chiplets=10,
+        )
+        assert area_model.derive_d2d_bandwidth(saturated) == 0.0
+
+
+class TestTileDimensions:
+    def test_tile_wider_than_compute_with_side_dram(self, area_model, small_wafer):
+        width, height = area_model.tile_dimensions(small_wafer.die)
+        assert width > small_wafer.die.compute.width_mm
+        assert height == pytest.approx(small_wafer.die.compute.height_mm)
+
+    def test_tile_equals_compute_when_stacked(self, area_model, small_wafer):
+        die = small_wafer.die
+        stacked = DieConfig(
+            compute=die.compute, dram_chiplet=die.dram_chiplet,
+            num_dram_chiplets=die.num_dram_chiplets, stacked_3d=True,
+        )
+        assert area_model.tile_dimensions(stacked) == (
+            die.compute.width_mm, die.compute.height_mm
+        )
+
+    def test_max_dram_chiplets_monotone_in_wafer_size(self, area_model):
+        small = make_small_wafer()
+        tiny_wafer = WaferConfig(
+            name="tiny", dies_x=small.dies_x, dies_y=small.dies_y, die=small.die,
+            wafer_width_mm=60.0, wafer_height_mm=60.0,
+        )
+        assert area_model.max_dram_chiplets(small.die, small) >= area_model.max_dram_chiplets(
+            small.die, tiny_wafer
+        )

@@ -1,0 +1,92 @@
+"""Table II configuration presets and the GPU baseline system configs."""
+
+import pytest
+
+from repro.hardware.configs import (
+    TABLE_II_CONFIGS,
+    GpuConfig,
+    GpuSystemConfig,
+    dgx_b300_equalized,
+    dgx_b300_node,
+    nvl72_gb300,
+    wafer_config1,
+    wafer_config2,
+    wafer_config3,
+    wafer_config4,
+)
+from repro.units import GB
+
+
+class TestTableII:
+    def test_all_four_configs_present(self):
+        assert set(TABLE_II_CONFIGS) == {"config1", "config2", "config3", "config4"}
+
+    @pytest.mark.parametrize(
+        "factory, dies, dram_gb, d2d_tbps",
+        [
+            (wafer_config1, 64, 48, 4.5),
+            (wafer_config2, 56, 64, 4.5),
+            (wafer_config3, 56, 70, 4.0),
+            (wafer_config4, 48, 96, 3.5),
+        ],
+    )
+    def test_config_matches_table(self, factory, dies, dram_gb, d2d_tbps):
+        wafer = factory()
+        assert wafer.num_dies == dies
+        assert wafer.die.dram_capacity == pytest.approx(dram_gb * GB)
+        assert wafer.die.d2d_bandwidth == pytest.approx(d2d_tbps * 1e12)
+
+    def test_config1_compute_power(self):
+        assert wafer_config1().die.flops_fp16 == pytest.approx(512e12, rel=0.01)
+
+    @pytest.mark.parametrize("factory", [wafer_config2, wafer_config3, wafer_config4])
+    def test_large_die_compute_power(self, factory):
+        assert factory().die.flops_fp16 == pytest.approx(708e12, rel=0.01)
+
+    def test_dram_bandwidth_ordering_matches_table(self):
+        bandwidths = [
+            wafer_config1().die.dram_bandwidth,
+            wafer_config2().die.dram_bandwidth,
+            wafer_config3().die.dram_bandwidth,
+            wafer_config4().die.dram_bandwidth,
+        ]
+        assert bandwidths == sorted(bandwidths)
+
+    def test_d2d_decreases_as_dram_grows_across_configs_2_to_4(self):
+        assert (
+            wafer_config2().die.d2d_bandwidth
+            > wafer_config3().die.d2d_bandwidth
+            > wafer_config4().die.d2d_bandwidth
+        )
+
+    def test_config3_total_compute_close_to_40_pflops(self):
+        # §V-C: 39,648 TFLOPS on the 56-die wafer.
+        assert wafer_config3().total_flops == pytest.approx(39648e12, rel=0.01)
+
+
+class TestGpuSystems:
+    def test_dgx_node_total_compute(self):
+        node = dgx_b300_node()
+        assert node.num_gpus == 8
+        assert node.total_flops == pytest.approx(40000e12, rel=0.01)
+
+    def test_dgx_node_hbm_capacity(self):
+        assert dgx_b300_node().total_hbm_capacity == pytest.approx(2304 * GB)
+
+    def test_equalized_node_matches_wafer_dram(self):
+        node = dgx_b300_equalized()
+        assert node.total_hbm_capacity == pytest.approx(3920 * GB)
+        assert node.gpu.hbm_bandwidth == pytest.approx(2e12)
+
+    def test_nvl72_gpu_count_and_node_size(self):
+        rack = nvl72_gb300(56)
+        assert rack.num_gpus == 56
+        assert rack.num_nodes == 1  # all inside one NVL72 domain
+
+    def test_multi_node_counting(self):
+        cluster = GpuSystemConfig(num_gpus=32, gpus_per_node=8)
+        assert cluster.num_nodes == 4
+
+    def test_gpu_defaults_are_positive(self):
+        gpu = GpuConfig()
+        assert gpu.flops_fp16 > 0 and gpu.hbm_capacity > 0 and gpu.nvlink_bandwidth > 0

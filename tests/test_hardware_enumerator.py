@@ -1,0 +1,73 @@
+"""Architecture candidate enumerator: exhaustiveness and feasibility filtering."""
+
+import pytest
+
+from repro.hardware.area import AreaModel
+from repro.hardware.enumerator import ArchitectureEnumerator, CandidateSpec
+
+
+@pytest.fixture
+def enumerator() -> ArchitectureEnumerator:
+    return ArchitectureEnumerator(
+        grid_options=[(6, 8), (7, 8), (8, 8)],
+        dram_options=[2, 4, 6],
+        compute_variants=["16x16", "18x18"],
+    )
+
+
+class TestSpecs:
+    def test_spec_count_is_product_of_options(self, enumerator):
+        specs = list(enumerator.specs())
+        assert len(specs) == 3 * 3 * 2
+
+    def test_specs_cover_every_dram_option(self, enumerator):
+        drams = {spec.num_dram_chiplets for spec in enumerator.specs()}
+        assert drams == {2, 4, 6}
+
+    def test_candidate_spec_die_count(self):
+        assert CandidateSpec(7, 8, 4, "16x16").num_dies == 56
+
+
+class TestBuild:
+    def test_build_applies_io_budget(self, enumerator):
+        spec = CandidateSpec(6, 8, 6, "16x16")
+        wafer = enumerator.build(spec)
+        expected = enumerator.area_model.derive_d2d_bandwidth(wafer.die)
+        assert wafer.die.d2d_bandwidth == pytest.approx(expected)
+
+    def test_build_names_are_unique(self, enumerator):
+        names = [enumerator.build(spec).name for spec in enumerator.specs()]
+        assert len(names) == len(set(names))
+
+    def test_more_dram_means_less_d2d(self, enumerator):
+        low = enumerator.build(CandidateSpec(6, 8, 2, "16x16"))
+        high = enumerator.build(CandidateSpec(6, 8, 6, "16x16"))
+        assert high.die.d2d_bandwidth < low.die.d2d_bandwidth
+        assert high.die.dram_capacity > low.die.dram_capacity
+
+
+class TestEnumerate:
+    def test_feasible_candidates_fit_area(self, enumerator):
+        for wafer in enumerator.enumerate():
+            assert enumerator.area_model.fits(wafer)
+
+    def test_feasible_candidates_have_min_d2d(self, enumerator):
+        for wafer in enumerator.enumerate():
+            assert wafer.die.d2d_bandwidth >= enumerator.area_model.min_d2d_bandwidth
+
+    def test_enumerate_with_rejects_partitions_spec_space(self, enumerator):
+        feasible, rejected = enumerator.enumerate_with_rejects()
+        assert len(feasible) + len(rejected) == len(list(enumerator.specs()))
+
+    def test_some_candidates_are_rejected(self, enumerator):
+        # 8×8 grids of the large 18×18 die cannot fit the wafer, so rejects must exist.
+        _, rejected = enumerator.enumerate_with_rejects()
+        assert rejected
+
+    def test_custom_variant_registration(self, enumerator):
+        from repro.hardware.configs import compute_die_16x16
+
+        enumerator.register_compute_variant("custom", compute_die_16x16)
+        assert "custom" in enumerator.compute_variants
+        specs = list(enumerator.specs())
+        assert any(spec.compute_variant == "custom" for spec in specs)

@@ -1,0 +1,76 @@
+"""Fault model: link/die degradation, dead components and random injection."""
+
+import pytest
+
+from repro.hardware.faults import FaultModel, FaultyDie, FaultyLink
+
+
+class TestFaultEntries:
+    def test_link_quality_bounds(self):
+        with pytest.raises(ValueError):
+            FaultyLink(((0, 0), (1, 0)), 1.5)
+        with pytest.raises(ValueError):
+            FaultyDie((0, 0), -0.1)
+
+    def test_healthy_by_default(self):
+        model = FaultModel()
+        assert model.is_empty
+        assert model.link_quality(((0, 0), (0, 1))) == 1.0
+        assert model.die_throughput((3, 3)) == 1.0
+
+
+class TestFaultQueries:
+    def test_degraded_link(self):
+        model = FaultModel()
+        model.add_link_fault(((0, 0), (1, 0)), 0.5)
+        assert model.link_quality(((0, 0), (1, 0))) == 0.5
+        # Canonicalisation: order of endpoints does not matter.
+        assert model.link_quality(((1, 0), (0, 0))) == 0.5
+
+    def test_dead_die_kills_its_links(self):
+        model = FaultModel()
+        model.add_die_fault((1, 0), 0.0)
+        assert model.link_quality(((0, 0), (1, 0))) == 0.0
+        assert (1, 0) in model.dead_dies()
+
+    def test_degraded_die_keeps_links_alive(self):
+        model = FaultModel()
+        model.add_die_fault((1, 0), 0.5)
+        assert model.link_quality(((0, 0), (1, 0))) == 1.0
+        assert model.die_throughput((1, 0)) == 0.5
+
+    def test_dead_links_reported(self):
+        model = FaultModel()
+        model.add_link_fault(((2, 2), (2, 3)), 0.0)
+        assert ((2, 2), (2, 3)) in model.dead_links()
+
+
+class TestRandomInjection:
+    def test_zero_rates_give_empty_model(self):
+        model = FaultModel.random(4, 4, 0.0, 0.0, seed=1)
+        assert model.is_empty
+
+    def test_rates_control_fault_counts(self):
+        model = FaultModel.random(8, 8, link_fault_rate=0.25, die_fault_rate=0.25, seed=2)
+        total_links = 2 * 8 * 7
+        assert len(model.link_faults) == round(0.25 * total_links)
+        assert len(model.die_faults) == round(0.25 * 64)
+
+    def test_deterministic_given_seed(self):
+        a = FaultModel.random(6, 6, 0.2, 0.2, seed=7)
+        b = FaultModel.random(6, 6, 0.2, 0.2, seed=7)
+        assert a.link_faults.keys() == b.link_faults.keys()
+        assert a.die_faults.keys() == b.die_faults.keys()
+
+    def test_different_seeds_differ(self):
+        a = FaultModel.random(8, 8, 0.3, 0.3, seed=1)
+        b = FaultModel.random(8, 8, 0.3, 0.3, seed=2)
+        assert a.link_faults.keys() != b.link_faults.keys() or a.die_faults.keys() != b.die_faults.keys()
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ValueError):
+            FaultModel.random(4, 4, link_fault_rate=1.5)
+
+    def test_full_die_fault_rate_marks_every_die(self):
+        model = FaultModel.random(3, 3, die_fault_rate=1.0, seed=0)
+        assert len(model.die_faults) == 9

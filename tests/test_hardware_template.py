@@ -1,0 +1,132 @@
+"""Wafer hardware template: cores, dies, DRAM chiplets and wafer aggregation."""
+
+import pytest
+
+from repro.hardware.template import (
+    ComputeDieConfig,
+    CoreConfig,
+    DieConfig,
+    DramChipletConfig,
+    WaferConfig,
+    scale_wafer_compute,
+)
+from repro.units import GB, tflops
+
+
+class TestCoreConfig:
+    def test_defaults_match_paper_core(self):
+        core = CoreConfig()
+        assert core.flops_fp16 == pytest.approx(tflops(2.04))
+        assert core.sram_bytes == pytest.approx(1.25 * 1024 ** 2)
+
+    def test_rejects_nonpositive_compute(self):
+        with pytest.raises(ValueError):
+            CoreConfig(flops_fp16=0.0)
+
+    def test_rejects_nonpositive_sram(self):
+        with pytest.raises(ValueError):
+            CoreConfig(sram_bytes=-1.0)
+
+
+class TestComputeDie:
+    def test_flops_scale_with_core_count(self):
+        die = ComputeDieConfig(core_rows=4, core_cols=4, core=CoreConfig(flops_fp16=1e12))
+        assert die.num_cores == 16
+        assert die.flops_fp16 == pytest.approx(16e12)
+
+    def test_sram_aggregates_over_cores(self):
+        die = ComputeDieConfig(core_rows=2, core_cols=3, core=CoreConfig(sram_bytes=1e6))
+        assert die.sram_bytes == pytest.approx(6e6)
+
+    def test_area_and_aspect_ratio(self):
+        die = ComputeDieConfig(width_mm=10.0, height_mm=20.0)
+        assert die.area_mm2 == pytest.approx(200.0)
+        assert die.aspect_ratio == pytest.approx(2.0)
+
+    def test_aspect_ratio_is_orientation_independent(self):
+        a = ComputeDieConfig(width_mm=10.0, height_mm=20.0)
+        b = ComputeDieConfig(width_mm=20.0, height_mm=10.0)
+        assert a.aspect_ratio == pytest.approx(b.aspect_ratio)
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            ComputeDieConfig(core_rows=0)
+        with pytest.raises(ValueError):
+            ComputeDieConfig(width_mm=-1.0)
+
+
+class TestDieConfig:
+    def test_dram_capacity_and_bandwidth_scale_with_chiplets(self):
+        chiplet = DramChipletConfig(capacity_bytes=16 * GB, bandwidth=0.5e12)
+        die = DieConfig(dram_chiplet=chiplet, num_dram_chiplets=4)
+        assert die.dram_capacity == pytest.approx(64 * GB)
+        assert die.dram_bandwidth == pytest.approx(2e12)
+
+    def test_link_bandwidth_is_quarter_of_aggregate(self):
+        die = DieConfig(d2d_bandwidth=4e12)
+        assert die.d2d_link_bandwidth == pytest.approx(1e12)
+
+    def test_footprint_includes_dram_chiplets(self):
+        die = DieConfig(num_dram_chiplets=2)
+        expected = die.compute.area_mm2 + 2 * die.dram_chiplet.area_mm2
+        assert die.footprint_mm2 == pytest.approx(expected)
+
+    def test_3d_stacking_removes_dram_from_footprint(self):
+        die = DieConfig(num_dram_chiplets=6, stacked_3d=True)
+        assert die.footprint_mm2 == pytest.approx(die.compute.area_mm2)
+
+    def test_zero_chiplets_allowed(self):
+        die = DieConfig(num_dram_chiplets=0)
+        assert die.dram_capacity == 0.0
+
+    def test_negative_chiplets_rejected(self):
+        with pytest.raises(ValueError):
+            DieConfig(num_dram_chiplets=-1)
+
+
+class TestWaferConfig:
+    def test_die_count_and_totals(self):
+        wafer = WaferConfig(dies_x=4, dies_y=6)
+        assert wafer.num_dies == 24
+        assert wafer.total_flops == pytest.approx(24 * wafer.die.flops_fp16)
+        assert wafer.total_dram_capacity == pytest.approx(24 * wafer.die.dram_capacity)
+
+    def test_with_grid_returns_new_config(self):
+        wafer = WaferConfig(dies_x=8, dies_y=8)
+        resized = wafer.with_grid(4, 4)
+        assert resized.num_dies == 16
+        assert wafer.num_dies == 64  # original untouched
+
+    def test_with_die_swaps_die(self):
+        wafer = WaferConfig()
+        new_die = DieConfig(num_dram_chiplets=1)
+        assert wafer.with_die(new_die).die.num_dram_chiplets == 1
+
+    def test_describe_contains_key_fields(self):
+        info = WaferConfig(name="w").describe()
+        for key in ("num_dies", "total_tflops", "dram_per_die_gb", "d2d_bw_per_die_tbps"):
+            assert key in info
+
+    def test_rejects_bad_grid(self):
+        with pytest.raises(ValueError):
+            WaferConfig(dies_x=0)
+
+    def test_occupied_area_scales_with_dies(self):
+        wafer = WaferConfig(dies_x=2, dies_y=2)
+        assert wafer.occupied_area_mm2 == pytest.approx(4 * wafer.die.footprint_mm2)
+
+
+class TestScaleWaferCompute:
+    def test_scales_to_target(self):
+        wafer = WaferConfig(dies_x=2, dies_y=2)
+        scaled = scale_wafer_compute(wafer, 8e15)
+        assert scaled.total_flops == pytest.approx(8e15)
+
+    def test_preserves_die_count(self):
+        wafer = WaferConfig(dies_x=3, dies_y=3)
+        scaled = scale_wafer_compute(wafer, 1e15)
+        assert scaled.num_dies == wafer.num_dies
+
+    def test_rejects_nonpositive_target(self):
+        with pytest.raises(ValueError):
+            scale_wafer_compute(WaferConfig(), 0.0)

@@ -1,0 +1,109 @@
+"""Integration tests: end-to-end flows on the paper's Config 3 reproducing key claims."""
+
+import pytest
+
+from repro.baselines.dse_frameworks import evaluate_dse_framework
+from repro.baselines.gpu_system import GpuEvaluator
+from repro.baselines.wafer_strategies import cerebras_wafer_result, megatron_wafer_plan
+from repro.core.central_scheduler import CentralScheduler
+from repro.core.evaluator import Evaluator
+from repro.core.plan import RecomputeConfig, TrainingPlan
+from repro.core.recomputation import GcmrScheduler
+from repro.hardware.configs import dgx_b300_equalized, wafer_config2, wafer_config3
+from repro.parallelism.strategies import ParallelismConfig
+from repro.workloads.models import get_model
+from repro.workloads.workload import TrainingWorkload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return TrainingWorkload(
+        get_model("llama2-30b"), global_batch_size=128, micro_batch_size=4,
+        sequence_length=4096,
+    )
+
+
+@pytest.fixture(scope="module")
+def config3_best(workload):
+    wafer = wafer_config3()
+    return wafer, CentralScheduler(wafer).best(workload)
+
+
+class TestOverallComparison:
+    """Fig. 16's ordering: WATOS beats MG-GPU, MG-wafer and Cerebras on the same wafer."""
+
+    def test_watos_beats_megatron_gpu(self, workload, config3_best):
+        _, best = config3_best
+        gpu = GpuEvaluator(dgx_b300_equalized()).evaluate(workload)
+        assert best.result.throughput > gpu.throughput
+
+    def test_watos_beats_megatron_wafer(self, workload, config3_best):
+        wafer, best = config3_best
+        _, mg_wafer = megatron_wafer_plan(wafer, workload)
+        assert best.result.throughput >= mg_wafer.throughput
+
+    def test_watos_beats_cerebras(self, workload, config3_best):
+        wafer, best = config3_best
+        cerebras = cerebras_wafer_result(wafer, workload)
+        assert best.result.throughput > cerebras.throughput
+
+
+class TestMemoryPressureFlow:
+    """GCMR + Sender/Helper balancing keep memory-tight configurations trainable."""
+
+    @pytest.fixture(scope="class")
+    def tight_workload(self):
+        return TrainingWorkload(
+            get_model("llama2-30b"), global_batch_size=128, micro_batch_size=8,
+            sequence_length=4096,
+        )
+
+    def test_naive_plan_goes_oom_but_watos_plan_fits(self, tight_workload):
+        wafer = wafer_config3()
+        evaluator = Evaluator(wafer)
+        naive = TrainingPlan(
+            parallelism=ParallelismConfig(dp=1, tp=4, pp=14), tp_shape=(2, 2),
+            recompute=RecomputeConfig.none(14),
+        )
+        assert evaluator.evaluate(tight_workload, naive).oom
+        plan = CentralScheduler(wafer).build_plan(tight_workload, tp=4, pp=14)
+        assert plan is not None
+        result = evaluator.evaluate(tight_workload, plan)
+        assert not result.oom
+
+    def test_gcmr_produces_senders_and_helpers_for_deep_pipelines(self, tight_workload):
+        wafer = wafer_config3()
+        gcmr = GcmrScheduler(wafer).schedule(tight_workload, tp=4, pp=14)
+        assert gcmr.feasible
+        # The 1F1B imbalance makes early stages heavier: if anything overflows, it is an
+        # early stage, and helpers are later stages.
+        if gcmr.senders:
+            assert min(gcmr.senders) < min(gcmr.helpers)
+
+    def test_watos_recomputes_less_than_naive_megatron_wafer(self, tight_workload):
+        wafer = wafer_config3()
+        _, mg_result = megatron_wafer_plan(wafer, tight_workload)
+        watos = CentralScheduler(wafer).best(tight_workload)
+        assert watos.result.recompute_ratio <= mg_result.recompute_ratio + 1e-9
+
+
+class TestArchDseClaims:
+    """Fig. 15's headline: the balanced Config 3 is at least as good as its neighbours."""
+
+    def test_config3_not_dominated_by_config2(self, workload):
+        best3 = CentralScheduler(wafer_config3()).best(workload)
+        best2 = CentralScheduler(wafer_config2()).best(workload)
+        # Config 3 is the paper's universal optimum; allow a small tolerance since the
+        # reproduction's cost model is not identical to the authors' simulator.
+        assert best3.result.throughput >= 0.9 * best2.result.throughput
+
+
+class TestDseFrameworkOrdering:
+    """Fig. 20: WATOS leads the prior DSE frameworks on the wafer."""
+
+    def test_watos_leads_on_config3(self, workload):
+        wafer = wafer_config3()
+        watos = evaluate_dse_framework("watos", wafer, workload)
+        for name in ("timeloop", "dfmodel", "calculon", "hecaton", "gemini", "pd", "wsc-llm"):
+            other = evaluate_dse_framework(name, wafer, workload)
+            assert watos.throughput >= other.throughput * 0.999, name

@@ -1,0 +1,43 @@
+"""alpha–beta link model."""
+
+import pytest
+
+from repro.interconnect.alphabeta import AlphaBetaLink, transfer_time
+
+
+class TestTransferTime:
+    def test_zero_bytes_cost_nothing(self):
+        assert transfer_time(0.0, 1e12, 1e-6) == 0.0
+
+    def test_latency_plus_bandwidth_term(self):
+        assert transfer_time(1e12, 1e12, 1e-6) == pytest.approx(1.0 + 1e-6)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            transfer_time(-1.0, 1e12)
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            transfer_time(1.0, 0.0)
+
+
+class TestLink:
+    def test_transfer_time_matches_function(self):
+        link = AlphaBetaLink(bandwidth=2e12, latency=5e-7)
+        assert link.transfer_time(2e12) == pytest.approx(1.0 + 5e-7)
+
+    def test_degraded_scales_bandwidth_only(self):
+        link = AlphaBetaLink(bandwidth=1e12, latency=1e-7)
+        degraded = link.degraded(0.5)
+        assert degraded.bandwidth == pytest.approx(5e11)
+        assert degraded.latency == link.latency
+
+    def test_degraded_rejects_zero_quality(self):
+        with pytest.raises(ValueError):
+            AlphaBetaLink(1e12).degraded(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AlphaBetaLink(bandwidth=0.0)
+        with pytest.raises(ValueError):
+            AlphaBetaLink(bandwidth=1e12, latency=-1.0)

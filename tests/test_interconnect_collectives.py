@@ -1,0 +1,123 @@
+"""Collective-communication cost models: rings, TACOS, 2D TP, all-to-all, broadcast."""
+
+import pytest
+
+from repro.interconnect.alphabeta import AlphaBetaLink
+from repro.interconnect.collectives import CollectiveAlgorithm, CollectiveModel
+
+
+LINK = AlphaBetaLink(bandwidth=1e12, latency=1e-7)
+
+
+def model(n: int, overhead: float = 2e-6) -> CollectiveModel:
+    return CollectiveModel(LINK, n, step_overhead=overhead)
+
+
+class TestRingAllReduce:
+    def test_single_die_is_free(self):
+        assert model(1).ring_all_reduce(1e9) == 0.0
+
+    def test_zero_bytes_is_free(self):
+        assert model(8).ring_all_reduce(0.0) == 0.0
+
+    def test_bandwidth_term_matches_formula(self):
+        n, size = 4, 1e9
+        result = model(n, overhead=0.0).ring_all_reduce(size)
+        expected = 2 * (n - 1) * LINK.latency + 2 * (n - 1) / n * size / LINK.bandwidth
+        assert result == pytest.approx(expected)
+
+    def test_bidirectional_halves_bandwidth_term(self):
+        uni = model(8, overhead=0.0).ring_all_reduce(1e9)
+        bi = model(8, overhead=0.0).ring_all_reduce(1e9, bidirectional=True)
+        assert bi < uni
+
+    def test_step_overhead_penalises_large_groups(self):
+        small = model(4).ring_all_reduce(1e6)
+        large = model(32).ring_all_reduce(1e6)
+        assert large > small
+
+    def test_volume_term_saturates_with_group_size(self):
+        # Without per-step overhead the volume term approaches 2×bytes/bw.
+        big = model(64, overhead=0.0).ring_all_reduce(1e9)
+        limit = 2.0 * 1e9 / LINK.bandwidth
+        assert big == pytest.approx(limit, rel=0.05)
+
+
+class TestOtherRings:
+    def test_all_gather_cheaper_than_all_reduce(self):
+        assert model(8).ring_all_gather(1e9) < model(8).ring_all_reduce(1e9)
+
+    def test_reduce_scatter_equals_all_gather(self):
+        m = model(8)
+        assert m.reduce_scatter(1e9) == pytest.approx(m.ring_all_gather(1e9))
+
+    def test_ring_bi_odd_matches_bidirectional_for_even_groups(self):
+        m = model(8)
+        assert m.ring_bi_odd(1e9) == pytest.approx(
+            m.ring_all_reduce(1e9, bidirectional=True)
+        )
+
+    def test_ring_bi_odd_supports_odd_groups_with_small_penalty(self):
+        m = model(7)
+        even = m.ring_all_reduce(1e9, bidirectional=True)
+        odd = m.ring_bi_odd(1e9)
+        assert odd > even
+        assert odd < even * 1.5
+
+    def test_tacos_beats_plain_ring_for_large_groups(self):
+        n = 49
+        assert model(n).tacos(1e8) < model(n).ring_all_reduce(1e8)
+
+    def test_tacos_cannot_beat_bandwidth_lower_bound(self):
+        n = 16
+        lower = 2.0 * (n - 1) / n * 1e9 / (2.0 * LINK.bandwidth)
+        assert model(n).tacos(1e9) >= lower
+
+
+class TestDispatchAndOthers:
+    @pytest.mark.parametrize("algorithm", list(CollectiveAlgorithm))
+    def test_dispatch_returns_nonnegative(self, algorithm):
+        assert model(8).all_reduce(1e8, algorithm) >= 0.0
+
+    def test_dispatch_matches_direct_calls(self):
+        m = model(8)
+        assert m.all_reduce(1e8, CollectiveAlgorithm.RING) == pytest.approx(
+            m.ring_all_reduce(1e8)
+        )
+        assert m.all_reduce(1e8, CollectiveAlgorithm.TACOS) == pytest.approx(m.tacos(1e8))
+
+    def test_2d_tp_costs_more_than_1d_on_mesh(self):
+        # Fig. 21 insight: 2D TP moves more data and pays tail latency on a 2D mesh.
+        m = model(16)
+        assert m.tp_2d_all_reduce(1e9) > m.ring_all_reduce(1e9, bidirectional=True)
+
+    def test_all_to_all_grows_with_group(self):
+        assert model(16).all_to_all(1e9) > model(4).all_to_all(1e9)
+
+    def test_broadcast_linear_in_size(self):
+        m = model(8)
+        assert m.broadcast(2e9) > m.broadcast(1e9)
+
+    def test_single_member_collectives_free(self):
+        m = model(1)
+        assert m.all_to_all(1e9) == 0.0
+        assert m.broadcast(1e9) == 0.0
+        assert m.tp_2d_all_reduce(1e9) == 0.0
+
+
+class TestLinkUtilization:
+    def test_strip_shape_uses_all_links(self):
+        assert model(4).ring_link_utilization((1, 4)) == pytest.approx(1.0)
+
+    def test_square_shape_leaves_interior_idle(self):
+        # A ring on a 3×3 block uses the 8 perimeter links out of 12 total.
+        assert model(9).ring_link_utilization((3, 3)) == pytest.approx(8 / 12)
+
+    def test_larger_blocks_have_lower_utilization(self):
+        util_2x4 = model(8).ring_link_utilization((2, 4))
+        util_4x4 = model(16).ring_link_utilization((4, 4))
+        assert util_4x4 < util_2x4
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(ValueError):
+            model(4).ring_link_utilization((0, 4))

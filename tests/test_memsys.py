@@ -1,0 +1,145 @@
+"""Memory-system substrate: dataflow EMA analysis, DRAM model, SRAM tiler."""
+
+import pytest
+
+from repro.memsys.dataflow import Dataflow, external_memory_accesses, external_memory_bytes, select_dataflow
+from repro.memsys.dram import DramCapacityError, DramModel
+from repro.memsys.sram import SramTiler
+from repro.units import GB, MB
+
+
+class TestDataflowEma:
+    def test_input_stationary_formula(self):
+        s, h, k, m, n = 128, 256, 64, 16, 16
+        expected = s * h * k * (1 / k + 1 / m + 1 / n)
+        assert external_memory_accesses(s, h, k, m, n, Dataflow.INPUT_STATIONARY) == pytest.approx(expected)
+
+    def test_weight_stationary_formula(self):
+        s, h, k, m, n = 128, 256, 64, 16, 16
+        expected = s * h * k * (1 / n + 1 / s + 1 / m)
+        assert external_memory_accesses(s, h, k, m, n, Dataflow.WEIGHT_STATIONARY) == pytest.approx(expected)
+
+    def test_output_stationary_formula(self):
+        s, h, k, m, n = 128, 256, 64, 16, 16
+        expected = s * h * k * (1 / n + 1 / m + 1 / h)
+        assert external_memory_accesses(s, h, k, m, n, Dataflow.OUTPUT_STATIONARY) == pytest.approx(expected)
+
+    def test_row_stationary_treated_as_output_stationary(self):
+        args = (64, 64, 64, 8, 8)
+        assert external_memory_accesses(*args, Dataflow.ROW_STATIONARY) == pytest.approx(
+            external_memory_accesses(*args, Dataflow.OUTPUT_STATIONARY)
+        )
+
+    def test_bytes_conversion(self):
+        args = (64, 64, 64, 8, 8)
+        assert external_memory_bytes(*args, Dataflow.OUTPUT_STATIONARY) == pytest.approx(
+            2.0 * external_memory_accesses(*args, Dataflow.OUTPUT_STATIONARY)
+        )
+
+    def test_select_dataflow_picks_minimum(self):
+        s, h, k, m, n = 32, 8192, 64, 16, 16
+        best, ema = select_dataflow(s, h, k, m, n)
+        for df in (Dataflow.OUTPUT_STATIONARY, Dataflow.WEIGHT_STATIONARY, Dataflow.INPUT_STATIONARY):
+            assert ema <= external_memory_accesses(s, h, k, m, n, df)
+
+    def test_large_reduction_prefers_input_stationary(self):
+        # A huge K makes the 1/K reload term of IS negligible, so IS wins.
+        best, _ = select_dataflow(64, 64, 4096, 16, 16)
+        assert best is Dataflow.INPUT_STATIONARY
+
+    def test_large_sequence_prefers_weight_stationary(self):
+        # A huge S makes WS's 1/S reload term negligible, so WS wins.
+        best, _ = select_dataflow(4096, 64, 64, 16, 16)
+        assert best is Dataflow.WEIGHT_STATIONARY
+
+    def test_large_hidden_prefers_output_stationary(self):
+        best, _ = select_dataflow(64, 4096, 64, 16, 16)
+        assert best is Dataflow.OUTPUT_STATIONARY
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            external_memory_accesses(0, 1, 1, 8, 8, Dataflow.OUTPUT_STATIONARY)
+        with pytest.raises(ValueError):
+            external_memory_accesses(1, 1, 1, 0, 8, Dataflow.OUTPUT_STATIONARY)
+
+
+class TestDramModel:
+    def test_allocation_and_free_accounting(self):
+        dram = DramModel(capacity_bytes=10 * GB, bandwidth=1e12)
+        dram.allocate("weights", 4 * GB)
+        dram.allocate("ckpt", 2 * GB)
+        assert dram.allocated_bytes == pytest.approx(6 * GB)
+        assert dram.free_bytes == pytest.approx(4 * GB)
+        assert dram.utilization == pytest.approx(0.6)
+
+    def test_allocation_over_capacity_raises(self):
+        dram = DramModel(capacity_bytes=1 * GB, bandwidth=1e12)
+        with pytest.raises(DramCapacityError):
+            dram.allocate("too-big", 2 * GB)
+
+    def test_release_and_reset(self):
+        dram = DramModel(capacity_bytes=4 * GB, bandwidth=1e12)
+        dram.allocate("a", 1 * GB)
+        assert dram.release("a") == pytest.approx(1 * GB)
+        assert dram.release("missing") == 0.0
+        dram.allocate("b", 2 * GB)
+        dram.reset()
+        assert dram.allocated_bytes == 0.0
+
+    def test_access_time_is_latency_plus_bandwidth(self):
+        dram = DramModel(capacity_bytes=GB, bandwidth=2e12, access_latency=1e-7)
+        assert dram.access_time(2e12) == pytest.approx(1.0 + 1e-7)
+        assert dram.access_time(0.0) == 0.0
+
+    def test_remote_access_limited_by_slower_of_dram_and_d2d(self):
+        dram = DramModel(capacity_bytes=GB, bandwidth=1e12)
+        fast_fabric = dram.remote_access_time(1e12, d2d_bandwidth=4e12)
+        slow_fabric = dram.remote_access_time(1e12, d2d_bandwidth=0.5e12)
+        assert fast_fabric == pytest.approx(dram.access_time(1e12) + 1e-7, rel=0.01)
+        assert slow_fabric > fast_fabric
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DramModel(capacity_bytes=0.0, bandwidth=1e12)
+        dram = DramModel(capacity_bytes=GB, bandwidth=1e12)
+        with pytest.raises(ValueError):
+            dram.access_time(-1.0)
+        with pytest.raises(ValueError):
+            dram.allocate("x", -1.0)
+
+
+class TestSramTiler:
+    def test_small_gemm_fits_untileed(self):
+        tiler = SramTiler(sram_bytes=1.25 * MB)
+        assert tiler.fits(64, 64, 64)
+        plan = tiler.plan(64, 64, 64)
+        assert plan.num_tiles == 1
+
+    def test_large_gemm_gets_tiled(self):
+        tiler = SramTiler(sram_bytes=1.25 * MB)
+        plan = tiler.plan(4096, 4096, 4096)
+        assert plan.num_tiles > 1
+        assert plan.tile_bytes <= tiler.budget_bytes
+
+    def test_tile_count_covers_whole_problem(self):
+        tiler = SramTiler(sram_bytes=1.25 * MB)
+        s, h, k = 1000, 900, 800
+        plan = tiler.plan(s, h, k)
+        import math
+        expected = (
+            math.ceil(s / plan.tile_s) * math.ceil(h / plan.tile_h) * math.ceil(k / plan.tile_k)
+        )
+        assert plan.num_tiles == expected
+
+    def test_bigger_sram_needs_fewer_tiles(self):
+        small = SramTiler(sram_bytes=0.5 * MB).plan(2048, 2048, 2048)
+        large = SramTiler(sram_bytes=8 * MB).plan(2048, 2048, 2048)
+        assert large.num_tiles <= small.num_tiles
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SramTiler(sram_bytes=0.0)
+        with pytest.raises(ValueError):
+            SramTiler(sram_bytes=MB, utilization=0.0)
+        with pytest.raises(ValueError):
+            SramTiler(sram_bytes=MB).plan(0, 1, 1)

@@ -1,0 +1,37 @@
+"""Unit-constant and conversion helpers."""
+
+import pytest
+
+from repro import units
+
+
+def test_binary_sizes_are_powers_of_1024():
+    assert units.KB == 1024
+    assert units.MB == 1024 ** 2
+    assert units.GB == 1024 ** 3
+    assert units.TB == 1024 ** 4
+
+
+def test_tflops_converts_to_flop_per_second():
+    assert units.tflops(1.0) == 1e12
+    assert units.tflops(2.04) == pytest.approx(2.04e12)
+
+
+def test_bandwidth_conversions_use_decimal_prefixes():
+    assert units.gbps(1.0) == 1e9
+    assert units.tbps(1.5) == 1.5e12
+
+
+def test_gib_and_mib_are_binary():
+    assert units.gib(1.0) == 1024 ** 3
+    assert units.mib(2.0) == 2 * 1024 ** 2
+
+
+def test_adam_state_bytes_matches_mixed_precision_layout():
+    # FP32 momentum + variance + master copy.
+    assert units.ADAM_STATE_BYTES_PER_PARAM == 12
+
+
+def test_precision_byte_widths():
+    assert units.FP16_BYTES == 2
+    assert units.FP32_BYTES == 4

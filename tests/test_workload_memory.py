@@ -1,0 +1,105 @@
+"""Training memory model: modelP accounting and 1F1B checkpoint retention."""
+
+import pytest
+
+from repro.units import GB
+from repro.workloads.memory import MODEL_STATE_BYTES_PER_PARAM, TrainingMemoryModel
+from repro.workloads.models import get_model
+
+
+@pytest.fixture
+def memory(tiny_model) -> TrainingMemoryModel:
+    return TrainingMemoryModel(tiny_model)
+
+
+class TestModelStates:
+    def test_bytes_per_param_is_16(self):
+        assert MODEL_STATE_BYTES_PER_PARAM == 16
+
+    def test_total_model_state(self, memory, tiny_model):
+        assert memory.total_model_state_bytes() == pytest.approx(
+            16.0 * tiny_model.num_parameters
+        )
+
+    def test_llama3_405b_model_state_matches_paper(self):
+        # §VI-F: Llama3-405B needs around 5670 GB for weights, optimizer and gradients.
+        memory = TrainingMemoryModel(get_model("llama3-405b"))
+        assert memory.total_model_state_bytes() == pytest.approx(5670 * GB, rel=0.2)
+
+    def test_layers_per_stage_balanced(self, memory):
+        layers = memory.layers_per_stage(3)
+        assert sum(layers) == memory.model.num_layers
+        assert max(layers) - min(layers) <= 1
+
+    def test_layers_per_stage_requires_positive_pp(self, memory):
+        with pytest.raises(ValueError):
+            memory.layers_per_stage(0)
+
+    def test_edge_stages_carry_embeddings(self, memory):
+        pp = 4
+        middle = memory.stage_param_count(1, pp)
+        first = memory.stage_param_count(0, pp)
+        last = memory.stage_param_count(pp - 1, pp)
+        assert first > middle
+        assert last > middle
+
+    def test_tp_divides_stage_state(self, memory):
+        full = memory.stage_model_state_bytes(1, 4, 1)
+        half = memory.stage_model_state_bytes(1, 4, 2)
+        assert half == pytest.approx(full / 2)
+
+
+class TestCheckpointRetention:
+    def test_retained_microbatches_decrease_along_pipeline(self, memory):
+        pp, n = 4, 16
+        retained = [memory.retained_microbatches(s, pp, n) for s in range(pp)]
+        assert retained == [4, 3, 2, 1]
+
+    def test_retained_capped_by_microbatch_count(self, memory):
+        assert memory.retained_microbatches(0, 8, 2) == 2
+
+    def test_stage_zero_has_highest_footprint(self, memory):
+        pp = 4
+        breakdown = memory.pipeline_breakdown(pp, 1, 1, 512, 16)
+        checkpoints = [stage.checkpoint_bytes for stage in breakdown]
+        assert checkpoints[0] == max(checkpoints)
+        assert checkpoints[-1] == min(checkpoints)
+
+    def test_recompute_fraction_reduces_checkpoints(self, memory):
+        with_ckpt = memory.stage_breakdown(0, 4, 1, 1, 512, 16, recompute_fraction=0.0)
+        recomputed = memory.stage_breakdown(0, 4, 1, 1, 512, 16, recompute_fraction=0.75)
+        assert recomputed.checkpoint_bytes == pytest.approx(0.25 * with_ckpt.checkpoint_bytes)
+        assert recomputed.model_state_bytes == pytest.approx(with_ckpt.model_state_bytes)
+
+    def test_breakdown_totals_are_consistent(self, memory):
+        stage = memory.stage_breakdown(1, 4, 2, 1, 512, 8)
+        assert stage.total_bytes == pytest.approx(
+            stage.weight_bytes + stage.gradient_bytes + stage.optimizer_bytes
+            + stage.checkpoint_bytes
+        )
+
+    def test_invalid_recompute_fraction_rejected(self, memory):
+        with pytest.raises(ValueError):
+            memory.stage_breakdown(0, 4, 1, 1, 512, 8, recompute_fraction=1.5)
+
+    def test_fits_checks_every_stage(self, memory):
+        breakdown = memory.pipeline_breakdown(4, 1, 1, 512, 16)
+        worst = max(stage.total_bytes for stage in breakdown)
+        assert memory.fits(worst * 1.01, 4, 1, 1, 512, 16)
+        assert not memory.fits(worst * 0.5, 4, 1, 1, 512, 16)
+
+    def test_fits_respects_recompute_fractions(self, memory):
+        breakdown = memory.pipeline_breakdown(4, 1, 4, 1024, 16)
+        worst = max(stage.total_bytes for stage in breakdown)
+        capacity = worst * 0.7
+        assert not memory.fits(capacity, 4, 1, 4, 1024, 16)
+        assert memory.fits(capacity, 4, 1, 4, 1024, 16, recompute_fractions=[1.0] * 4)
+
+    def test_pipeline_breakdown_validates_fraction_length(self, memory):
+        with pytest.raises(ValueError):
+            memory.pipeline_breakdown(4, 1, 1, 512, 8, recompute_fractions=[0.5])
+
+    def test_checkpoints_dominate_for_heavy_microbatches(self, memory):
+        # Fig. 5c: activation checkpoints account for the bulk of early-stage memory.
+        stage0 = memory.stage_breakdown(0, 8, 1, 8, 2048, 32)
+        assert stage0.checkpoint_bytes > stage0.model_state_bytes

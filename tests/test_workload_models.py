@@ -1,0 +1,92 @@
+"""Model zoo: parameter accounting and family-specific behaviour."""
+
+import pytest
+
+from repro.workloads.models import MODEL_ZOO, ModelConfig, ModelFamily, get_model
+
+
+class TestZoo:
+    def test_paper_models_present(self):
+        for name in (
+            "llama2-30b", "llama3-70b", "gpt-175b", "gshard-137b", "deepseek-v3-671b",
+            "llama3-405b", "mamba-2.8b", "sd-3.5-large", "gr-24", "qwen3-next-80b-a3b",
+        ):
+            assert name in MODEL_ZOO
+
+    def test_get_model_round_trips(self):
+        assert get_model("gpt-175b") is MODEL_ZOO["gpt-175b"]
+
+    def test_get_model_unknown_raises_helpful_error(self):
+        with pytest.raises(KeyError, match="known models"):
+            get_model("gpt-5")
+
+    @pytest.mark.parametrize(
+        "name, billions, tolerance",
+        [
+            ("llama2-30b", 30, 0.15),
+            ("llama3-70b", 70, 0.15),
+            ("gpt-175b", 175, 0.1),
+            ("llama3-405b", 405, 0.1),
+            ("deepseek-v3-671b", 671, 0.15),
+            ("mamba-2.8b", 2.8, 0.5),
+        ],
+    )
+    def test_parameter_counts_near_nominal(self, name, billions, tolerance):
+        model = get_model(name)
+        assert model.num_parameters == pytest.approx(billions * 1e9, rel=tolerance)
+
+    def test_moe_models_flagged(self):
+        assert get_model("deepseek-v3-671b").is_moe
+        assert not get_model("llama3-70b").is_moe
+
+
+class TestModelConfig:
+    def test_head_dim_and_kv_hidden(self):
+        model = get_model("llama3-70b")
+        assert model.head_dim == model.hidden_size // model.num_heads
+        assert model.kv_hidden == model.num_kv_heads * model.head_dim
+
+    def test_moe_active_params_below_stored(self):
+        moe = get_model("deepseek-v3-671b")
+        assert moe.active_params_per_layer < moe.params_per_layer
+
+    def test_dense_active_params_equal_stored(self):
+        dense = get_model("gpt-175b")
+        assert dense.active_params_per_layer == dense.params_per_layer
+
+    def test_param_bytes_is_fp16(self):
+        model = get_model("llama2-30b")
+        assert model.param_bytes == pytest.approx(2.0 * model.num_parameters)
+
+    def test_gated_mlp_has_three_matrices(self):
+        gated = get_model("llama3-70b")
+        plain = get_model("gpt-175b")
+        assert gated.mlp_params_per_expert == 3 * gated.hidden_size * gated.ffn_hidden
+        assert plain.mlp_params_per_expert == 2 * plain.hidden_size * plain.ffn_hidden
+
+    def test_describe_reports_billions(self):
+        info = get_model("llama3-70b").describe()
+        assert info["params_billion"] == pytest.approx(
+            get_model("llama3-70b").num_parameters / 1e9
+        )
+
+    def test_validation_rejects_indivisible_heads(self):
+        with pytest.raises(ValueError):
+            ModelConfig(
+                name="bad", family=ModelFamily.TRANSFORMER, num_layers=2,
+                hidden_size=100, num_heads=3, num_kv_heads=3, ffn_hidden=400,
+            )
+
+    def test_validation_rejects_moe_without_experts(self):
+        with pytest.raises(ValueError):
+            ModelConfig(
+                name="bad-moe", family=ModelFamily.MOE_TRANSFORMER, num_layers=2,
+                hidden_size=128, num_heads=4, num_kv_heads=4, ffn_hidden=512,
+            )
+
+    def test_validation_rejects_zero_layers(self):
+        with pytest.raises(ValueError):
+            ModelConfig(
+                name="bad", family=ModelFamily.TRANSFORMER, num_layers=0,
+                hidden_size=128, num_heads=4, num_kv_heads=4, ffn_hidden=512,
+            )

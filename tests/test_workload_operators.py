@@ -1,0 +1,75 @@
+"""Operator unit semantics: sharding, scaling and validation."""
+
+import pytest
+
+from repro.workloads.operators import CHEAP_TO_RECOMPUTE, Operator, OperatorKind
+
+
+def make_gemm(flops=1e12, weight=1e6, ckpt=2e6, out=2e6, shardable=True):
+    return Operator(
+        name="gemm",
+        kind=OperatorKind.GEMM,
+        flops=flops,
+        weight_bytes=weight,
+        checkpoint_bytes=ckpt,
+        output_bytes=out,
+        tp_shardable=shardable,
+        tp_allreduce_bytes=out,
+    )
+
+
+class TestValidation:
+    def test_negative_quantities_rejected(self):
+        with pytest.raises(ValueError):
+            Operator(name="x", kind=OperatorKind.NORM, flops=-1.0)
+
+    def test_backward_is_twice_forward(self):
+        assert make_gemm(flops=10.0).backward_flops == pytest.approx(20.0)
+
+
+class TestSharding:
+    def test_sharded_divides_extensive_quantities(self):
+        op = make_gemm()
+        sharded = op.sharded(4)
+        assert sharded.flops == pytest.approx(op.flops / 4)
+        assert sharded.weight_bytes == pytest.approx(op.weight_bytes / 4)
+        assert sharded.checkpoint_bytes == pytest.approx(op.checkpoint_bytes / 4)
+
+    def test_sharding_by_one_is_identity(self):
+        op = make_gemm()
+        assert op.sharded(1) is op
+
+    def test_non_shardable_operator_unchanged(self):
+        op = make_gemm(shardable=False)
+        assert op.sharded(8).flops == op.flops
+
+    def test_invalid_tp_rejected(self):
+        with pytest.raises(ValueError):
+            make_gemm().sharded(0)
+
+
+class TestScaling:
+    def test_scaled_multiplies_activation_quantities(self):
+        op = make_gemm()
+        scaled = op.scaled(2.0)
+        assert scaled.flops == pytest.approx(2.0 * op.flops)
+        assert scaled.checkpoint_bytes == pytest.approx(2.0 * op.checkpoint_bytes)
+        assert scaled.tp_allreduce_bytes == pytest.approx(2.0 * op.tp_allreduce_bytes)
+
+    def test_scaled_leaves_weights_alone(self):
+        op = make_gemm()
+        assert op.scaled(4.0).weight_bytes == op.weight_bytes
+
+    def test_scale_must_be_positive(self):
+        with pytest.raises(ValueError):
+            make_gemm().scaled(0.0)
+
+
+class TestKinds:
+    def test_cheap_to_recompute_set(self):
+        assert OperatorKind.NORM in CHEAP_TO_RECOMPUTE
+        assert OperatorKind.GEMM not in CHEAP_TO_RECOMPUTE
+
+    def test_all_kinds_have_distinct_values(self):
+        values = [kind.value for kind in OperatorKind]
+        assert len(values) == len(set(values))

@@ -1,0 +1,113 @@
+"""Operator-graph builders: transformer, MoE, Mamba and embedding operators."""
+
+import pytest
+
+from repro.units import FP16_BYTES
+from repro.workloads.models import get_model
+from repro.workloads.operators import OperatorKind
+from repro.workloads.transformer import (
+    build_layer_graph,
+    embedding_operator,
+    layer_checkpoint_bytes,
+    layer_flops,
+)
+
+from conftest import make_small_moe_model, make_tiny_model
+
+
+class TestDenseLayer:
+    def test_layer_contains_expected_operator_units(self, tiny_model):
+        names = {op.name for op in build_layer_graph(tiny_model, 1, 512)}
+        assert {"attn_norm", "qkv_proj", "flash_attention", "attn_out_proj",
+                "mlp_norm", "mlp_up_proj", "mlp_activation", "mlp_down_proj"} <= names
+
+    def test_two_allreduces_per_layer(self, tiny_model):
+        ops = build_layer_graph(tiny_model, 1, 512)
+        allreduce_ops = [op for op in ops if op.tp_allreduce_bytes > 0]
+        assert len(allreduce_ops) == 2  # attention output and MLP down projections
+
+    def test_flops_scale_linearly_with_batch(self, tiny_model):
+        assert layer_flops(tiny_model, 4, 512) == pytest.approx(
+            4.0 * layer_flops(tiny_model, 1, 512)
+        )
+
+    def test_attention_flops_scale_quadratically_with_sequence(self, tiny_model):
+        ops_short = {op.name: op for op in build_layer_graph(tiny_model, 1, 256)}
+        ops_long = {op.name: op for op in build_layer_graph(tiny_model, 1, 1024)}
+        ratio = ops_long["flash_attention"].flops / ops_short["flash_attention"].flops
+        assert ratio == pytest.approx(16.0)
+
+    def test_gemm_flops_scale_linearly_with_sequence(self, tiny_model):
+        ops_short = {op.name: op for op in build_layer_graph(tiny_model, 1, 256)}
+        ops_long = {op.name: op for op in build_layer_graph(tiny_model, 1, 1024)}
+        assert ops_long["qkv_proj"].flops / ops_short["qkv_proj"].flops == pytest.approx(4.0)
+
+    def test_flash_attention_checkpoint_smaller_than_score_matrix(self, tiny_model):
+        ops = {op.name: op for op in build_layer_graph(tiny_model, 1, 1024)}
+        score_matrix_bytes = 1 * tiny_model.num_heads * 1024 * 1024 * FP16_BYTES
+        assert ops["flash_attention"].checkpoint_bytes < score_matrix_bytes
+
+    def test_layer_weight_bytes_match_param_count(self, tiny_model):
+        ops = build_layer_graph(tiny_model, 1, 512)
+        weights = sum(op.weight_bytes for op in ops)
+        assert weights == pytest.approx(tiny_model.params_per_layer * FP16_BYTES, rel=0.01)
+
+    def test_checkpoint_bytes_positive_and_scale_with_batch(self, tiny_model):
+        assert layer_checkpoint_bytes(tiny_model, 2, 512) == pytest.approx(
+            2.0 * layer_checkpoint_bytes(tiny_model, 1, 512)
+        )
+
+    def test_invalid_batch_rejected(self, tiny_model):
+        with pytest.raises(ValueError):
+            build_layer_graph(tiny_model, 0, 512)
+
+
+class TestMoeLayer:
+    def test_moe_layer_has_router_and_experts(self):
+        moe = make_small_moe_model()
+        names = {op.name for op in build_layer_graph(moe, 1, 512)}
+        assert {"moe_router", "moe_expert_up", "moe_expert_down"} <= names
+
+    def test_moe_weights_store_all_experts_but_flops_only_active(self):
+        moe = make_small_moe_model()
+        ops = {op.name: op for op in build_layer_graph(moe, 1, 512)}
+        dense_equivalent = make_tiny_model(hidden=512, ffn=1024, layers=6)
+        dense_ops = {op.name: op for op in build_layer_graph(dense_equivalent, 1, 512)}
+        # Stored expert weights exceed a single dense MLP by ~the expert count.
+        assert ops["moe_expert_up"].weight_bytes > 4 * dense_ops["mlp_up_proj"].weight_bytes
+        # Active compute corresponds to experts_per_token (2), not num_experts (8).
+        assert ops["moe_expert_up"].flops < 4 * dense_ops["mlp_up_proj"].flops
+
+    def test_router_emits_all_to_all_metadata(self):
+        moe = make_small_moe_model()
+        router = next(op for op in build_layer_graph(moe, 1, 512) if op.name == "moe_router")
+        assert router.metadata.get("all_to_all_bytes", 0) > 0
+
+
+class TestOtherFamilies:
+    def test_mamba_layer_has_scan(self):
+        mamba = get_model("mamba-2.8b")
+        kinds = {op.kind for op in build_layer_graph(mamba, 1, 512)}
+        assert OperatorKind.SCAN in kinds
+        assert OperatorKind.FLASH_ATTENTION not in kinds
+
+    def test_diffusion_model_uses_non_causal_attention(self):
+        sd = get_model("sd-3.5-large")
+        llama = get_model("llama2-30b")
+        sd_attn = next(op for op in build_layer_graph(sd, 1, 1024) if op.kind is OperatorKind.FLASH_ATTENTION)
+        llama_attn = next(op for op in build_layer_graph(llama, 1, 1024) if op.kind is OperatorKind.FLASH_ATTENTION)
+        # Non-causal attention does twice the work per token pair.
+        assert sd_attn.flops / (sd.hidden_size) == pytest.approx(
+            2.0 * llama_attn.flops / llama.hidden_size, rel=0.01
+        )
+
+
+class TestEmbedding:
+    def test_embedding_weight_counts_both_tables(self, tiny_model):
+        op = embedding_operator(tiny_model, 1, 512)
+        assert op.weight_bytes == pytest.approx(
+            2.0 * tiny_model.vocab_size * tiny_model.hidden_size * FP16_BYTES
+        )
+
+    def test_embedding_not_recomputable(self, tiny_model):
+        assert not embedding_operator(tiny_model, 1, 512).recomputable

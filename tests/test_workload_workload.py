@@ -1,0 +1,64 @@
+"""TrainingWorkload: batching arithmetic and derived quantities."""
+
+import pytest
+
+from repro.workloads.workload import TrainingWorkload
+
+
+class TestValidation:
+    def test_global_batch_must_divide_by_micro(self, tiny_model):
+        with pytest.raises(ValueError):
+            TrainingWorkload(tiny_model, global_batch_size=10, micro_batch_size=3)
+
+    def test_positive_batches_required(self, tiny_model):
+        with pytest.raises(ValueError):
+            TrainingWorkload(tiny_model, global_batch_size=0)
+
+    def test_default_sequence_length_comes_from_model(self, tiny_model):
+        workload = TrainingWorkload(tiny_model, 16, 1)
+        assert workload.seq_len == tiny_model.default_seq_len
+
+    def test_explicit_sequence_length_wins(self, tiny_model):
+        workload = TrainingWorkload(tiny_model, 16, 1, sequence_length=2048)
+        assert workload.seq_len == 2048
+
+
+class TestDerivedQuantities:
+    def test_num_microbatches_divides_by_dp(self, tiny_workload):
+        assert tiny_workload.num_microbatches(1) == 16
+        assert tiny_workload.num_microbatches(4) == 4
+
+    def test_num_microbatches_rejects_oversized_dp(self, tiny_workload):
+        with pytest.raises(ValueError):
+            tiny_workload.num_microbatches(64)
+
+    def test_tokens_per_iteration(self, tiny_workload):
+        assert tiny_workload.tokens_per_iteration == 16 * 512
+
+    def test_iteration_flops_scale_with_batch(self, tiny_model):
+        small = TrainingWorkload(tiny_model, 16, 1, 512)
+        large = TrainingWorkload(tiny_model, 32, 1, 512)
+        assert large.iteration_flops() == pytest.approx(2.0 * small.iteration_flops())
+
+    def test_iteration_flops_counts_forward_and_backward(self, tiny_workload):
+        per_layer = tiny_workload.microbatch_layer_flops()
+        expected = 3.0 * per_layer * tiny_workload.model.num_layers * 16
+        assert tiny_workload.iteration_flops() == pytest.approx(expected)
+
+    def test_model_state_bytes_is_16_per_param(self, tiny_workload):
+        assert tiny_workload.model_state_bytes == pytest.approx(
+            16.0 * tiny_workload.model.num_parameters
+        )
+
+    def test_with_batch_and_sequence_produce_new_objects(self, tiny_workload):
+        other = tiny_workload.with_batch(64, 2).with_sequence_length(1024)
+        assert other.global_batch_size == 64
+        assert other.seq_len == 1024
+        assert tiny_workload.global_batch_size == 16
+
+    def test_describe_contains_model_name(self, tiny_workload):
+        assert tiny_workload.describe()["model"] == tiny_workload.model.name
+
+    def test_layer_operators_cached_shape(self, tiny_workload):
+        ops = tiny_workload.layer_operators()
+        assert len(ops) == 8  # dense transformer layer decomposition
