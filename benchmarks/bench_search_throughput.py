@@ -1,0 +1,188 @@
+#!/usr/bin/env python
+"""Search-throughput benchmark for the fast evaluation subsystem.
+
+Runs the same GA plan search (population 16 × 30 generations by default) twice on one
+wafer/workload pair:
+
+* **baseline** — the raw evaluation path: no plan-level result cache, no stage-pricing
+  memo (``Evaluator(use_cache=False, memoize_stages=False)``);
+* **fast** — the default evaluation path: content-addressed ``EvaluationCache`` plus
+  TP-engine stage memoization.
+
+Both runs use the same RNG seed, so they must converge to the *identical*
+``best_fitness`` — the fast path is pure memoization, not approximation.  The report
+(and ``--json``) tracks evaluations/sec, the cache hit rate and the speedup so the
+perf trajectory of the search stack is measured from this PR on.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_search_throughput.py --json out.json
+    PYTHONPATH=src python benchmarks/bench_search_throughput.py --parallel 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Optional
+
+from repro.core.central_scheduler import CentralScheduler
+from repro.core.evaluator import Evaluator
+from repro.core.genetic import GAConfig, GeneticOptimizer
+from repro.hardware.template import (
+    ComputeDieConfig,
+    CoreConfig,
+    DieConfig,
+    DramChipletConfig,
+    WaferConfig,
+)
+from repro.units import GB, tbps, tflops
+from repro.workloads.models import ModelConfig, ModelFamily
+from repro.workloads.workload import TrainingWorkload
+
+
+def bench_wafer(dram_gb: float = 1.0) -> WaferConfig:
+    """A small 4×4 wafer whose tight per-die DRAM forces recomputation/balancing."""
+    compute = ComputeDieConfig(
+        core_rows=8,
+        core_cols=8,
+        core=CoreConfig(flops_fp16=tflops(1.0)),
+        width_mm=12.0,
+        height_mm=12.0,
+        edge_io_bandwidth=tbps(6.0),
+    )
+    chiplet = DramChipletConfig(
+        capacity_bytes=dram_gb * GB / 4,
+        bandwidth=tbps(1.0) / 4,
+        interface_bandwidth=tbps(1.0) / 4,
+        width_mm=3.0,
+        height_mm=6.0,
+    )
+    die = DieConfig(
+        compute=compute,
+        dram_chiplet=chiplet,
+        num_dram_chiplets=4,
+        d2d_bandwidth=tbps(2.0),
+    )
+    return WaferConfig(name="bench-wafer", dies_x=4, dies_y=4, die=die,
+                       wafer_width_mm=100.0, wafer_height_mm=100.0)
+
+
+def bench_workload() -> TrainingWorkload:
+    """A toy transformer with a heavy micro-batch so checkpoints dominate memory."""
+    model = ModelConfig(
+        name="bench-transformer",
+        family=ModelFamily.TRANSFORMER,
+        num_layers=8,
+        hidden_size=512,
+        num_heads=8,
+        num_kv_heads=8,
+        ffn_hidden=1408,
+        vocab_size=8000,
+        default_seq_len=512,
+        gated_mlp=True,
+    )
+    return TrainingWorkload(
+        model, global_batch_size=32, micro_batch_size=8, sequence_length=2048
+    )
+
+
+def run_ga(
+    wafer: WaferConfig,
+    workload: TrainingWorkload,
+    config: GAConfig,
+    fast: bool,
+    parallel: Optional[int] = None,
+):
+    """One timed GA run; returns (elapsed seconds, GAResult, evaluator)."""
+    evaluator = Evaluator(wafer, use_cache=fast, memoize_stages=fast)
+    seed_plan = CentralScheduler(wafer, evaluator=evaluator).best(workload).plan
+    ga = GeneticOptimizer(evaluator, workload, config)
+    start = time.perf_counter()
+    outcome = ga.optimize(seed_plan, parallel=parallel)
+    elapsed = time.perf_counter() - start
+    return elapsed, outcome, evaluator
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--population", type=int, default=16, help="GA population size")
+    parser.add_argument("--generations", type=int, default=30, help="GA generations")
+    parser.add_argument("--seed", type=int, default=0, help="GA RNG seed")
+    parser.add_argument(
+        "--parallel", type=int, default=None,
+        help="also time a process-pool GA run with this many workers (-1 = all CPUs)",
+    )
+    parser.add_argument(
+        "--json", metavar="OUT", default=None,
+        help="write the metrics as JSON to this path ('-' for stdout)",
+    )
+    args = parser.parse_args(argv)
+
+    config = GAConfig(
+        population_size=args.population, generations=args.generations, seed=args.seed
+    )
+    wafer, workload = bench_wafer(), bench_workload()
+    # One GA fitness call per individual per generation, plus the seed evaluation.
+    logical_evals = args.population * args.generations + 1
+
+    base_time, base_outcome, _ = run_ga(wafer, workload, config, fast=False)
+    fast_time, fast_outcome, fast_eval = run_ga(wafer, workload, config, fast=True)
+
+    if fast_outcome.best_fitness != base_outcome.best_fitness:
+        print(
+            "ERROR: cached best_fitness "
+            f"{fast_outcome.best_fitness!r} != uncached {base_outcome.best_fitness!r}",
+            file=sys.stderr,
+        )
+        return 1
+
+    stats = fast_eval.cache.stats
+    metrics = {
+        "population": args.population,
+        "generations": args.generations,
+        "logical_evaluations": logical_evals,
+        "evals_per_sec": logical_evals / fast_time,
+        "baseline_evals_per_sec": logical_evals / base_time,
+        "cache_hit_rate": stats.hit_rate,
+        "cache_hits": stats.hits,
+        "cache_misses": stats.misses,
+        "raw_evaluations": fast_eval.raw_evaluations,
+        "baseline_seconds": base_time,
+        "fast_seconds": fast_time,
+        "speedup": base_time / fast_time,
+        "best_fitness": fast_outcome.best_fitness,
+        "best_fitness_match": True,
+    }
+
+    if args.parallel is not None:
+        par_time, par_outcome, _ = run_ga(
+            wafer, workload, config, fast=True, parallel=args.parallel
+        )
+        if par_outcome.best_fitness != base_outcome.best_fitness:
+            print("ERROR: parallel best_fitness diverged from serial", file=sys.stderr)
+            return 1
+        metrics["parallel_workers"] = args.parallel
+        metrics["parallel_seconds"] = par_time
+        metrics["parallel_evals_per_sec"] = logical_evals / par_time
+
+    print(
+        f"GA {args.population}x{args.generations}: "
+        f"baseline {base_time:.2f}s -> fast {fast_time:.2f}s "
+        f"({metrics['speedup']:.1f}x, {metrics['evals_per_sec']:.0f} evals/s, "
+        f"hit rate {stats.hit_rate:.1%}, {fast_eval.raw_evaluations} raw evals)"
+    )
+    if args.json == "-":
+        json.dump(metrics, sys.stdout, indent=2)
+        print()
+    elif args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(metrics, handle, indent=2)
+        print(f"metrics written to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -154,34 +154,43 @@ class CentralScheduler:
         self,
         workload: TrainingWorkload,
         model_parallel_dies: Optional[int] = None,
+        parallel: Optional[int] = None,
     ) -> List[ExplorationRecord]:
-        """Evaluate every surviving (TP, PP, split-strategy) candidate."""
+        """Evaluate every surviving (TP, PP, split-strategy) candidate.
+
+        ``parallel`` prices the surviving candidates on a process pool of that many
+        workers (negative = all CPUs); candidate construction and result order are
+        unchanged, so the records match the serial run exactly.
+        """
         mp = model_parallel_dies or self.wafer.num_dies
         if mp > self.wafer.num_dies:
             raise ValueError("model-parallel dies exceed the wafer's die count")
-        records: List[ExplorationRecord] = []
         if self.prunes(workload, mp):
-            return records
+            return []
         collectives = tuple(self.search_collectives) or (self.collective,)
+        plans: List[TrainingPlan] = []
         for tp, pp in enumerate_tp_pp(mp, workload.model.num_layers, max_tp=self.max_tp):
             for strategy in self.split_strategies:
                 for collective in collectives:
                     plan = self.build_plan(workload, tp, pp, strategy, collective)
-                    if plan is None:
-                        continue
-                    result = self.evaluator.evaluate(workload, plan)
-                    records.append(ExplorationRecord(plan=plan, result=result))
-        return records
+                    if plan is not None:
+                        plans.append(plan)
+        results = self.evaluator.evaluate_many(workload, plans, parallel)
+        return [
+            ExplorationRecord(plan=plan, result=result)
+            for plan, result in zip(plans, results)
+        ]
 
     def best(
         self,
         workload: TrainingWorkload,
         model_parallel_dies: Optional[int] = None,
+        parallel: Optional[int] = None,
     ) -> Optional[ExplorationRecord]:
         """The highest-throughput record, or ``None`` when everything was pruned."""
         records = [
             record
-            for record in self.explore(workload, model_parallel_dies)
+            for record in self.explore(workload, model_parallel_dies, parallel=parallel)
             if not record.result.oom
         ]
         if not records:

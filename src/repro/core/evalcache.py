@@ -1,0 +1,217 @@
+"""Content-addressed evaluation cache for the plan-search hot path.
+
+Every search loop in the reproduction — the GA (§IV-D), the central scheduler's
+(TP, PP, strategy, collective) co-exploration and the die-granularity hardware DSE
+(Fig. 25) — funnels through :meth:`Evaluator.evaluate`.  Those loops revisit identical
+candidates constantly: GA elites survive unchanged between generations, crossover
+produces exact clones of parents, and scheduler probes re-price the same (TP, PP) split
+under several collectives that collapse to the same plan.
+
+:class:`EvaluationCache` memoizes evaluation results behind a *content-addressed*
+fingerprint of everything that determines the outcome:
+
+* the wafer configuration (die geometry, DRAM, link bandwidths, fault state);
+* the workload (model shape, batching, sequence length);
+* the training plan (parallelism degrees, TP shape, collective, split strategy,
+  recomputation config, stage placement, Mem_pairs, host offload).
+
+Fingerprints are structural, not identity-based: two plans built independently but
+describing the same strategy share one cache entry.  The cache is a bounded LRU and
+exposes hit/miss counters so benchmarks can track search efficiency.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from collections import OrderedDict
+from dataclasses import fields, is_dataclass
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = [
+    "EvaluationCache",
+    "CacheStats",
+    "canonicalize",
+    "combine_fingerprints",
+    "fingerprint",
+    "hardware_fingerprint",
+    "evaluation_fingerprint",
+]
+
+
+# ---------------------------------------------------------------------- canonical form
+def canonicalize(value: Any) -> Any:
+    """Reduce ``value`` to a nested tuple of primitives with a deterministic repr.
+
+    Handles the vocabulary the evaluator's inputs are built from: frozen (and mutable)
+    dataclasses, enums, dicts, sets and sequences.  Floats are kept exact — the cache
+    must never merge two plans whose byte volumes differ even in the last ulp.
+    """
+    if value is None or isinstance(value, (bool, int, str, bytes)):
+        return value
+    if isinstance(value, float):
+        # hex() is lossless and avoids repr ambiguity across float formatting rules.
+        return ("f", value.hex())
+    if isinstance(value, enum.Enum):
+        return (type(value).__name__, value.name)
+    if is_dataclass(value) and not isinstance(value, type):
+        return (
+            type(value).__name__,
+            tuple((f.name, canonicalize(getattr(value, f.name))) for f in fields(value)),
+        )
+    if isinstance(value, dict):
+        items = [(canonicalize(k), canonicalize(v)) for k, v in value.items()]
+        return ("dict", tuple(sorted(items, key=repr)))
+    if isinstance(value, (set, frozenset)):
+        return ("set", tuple(sorted((canonicalize(v) for v in value), key=repr)))
+    if isinstance(value, (tuple, list)):
+        return tuple(canonicalize(v) for v in value)
+    raise TypeError(f"cannot canonicalize {type(value).__name__} for fingerprinting")
+
+
+def fingerprint(*values: Any) -> str:
+    """SHA-256 content address of one or more canonicalizable values."""
+    digest = hashlib.sha256()
+    for value in values:
+        digest.update(repr(canonicalize(value)).encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def hardware_fingerprint(wafer, faults, fault_aware: bool) -> str:
+    """Content address of the hardware half of an evaluation: wafer + fault state."""
+    fault_state: Tuple = ()
+    if faults is not None and not faults.is_empty:
+        fault_state = (
+            tuple(sorted((link, f.quality) for link, f in faults.link_faults.items())),
+            tuple(sorted((die, f.throughput) for die, f in faults.die_faults.items())),
+        )
+    return fingerprint(wafer, fault_state, bool(fault_aware))
+
+
+def evaluation_fingerprint(wafer, faults, fault_aware: bool, workload, plan) -> str:
+    """The cache key of one :meth:`Evaluator.evaluate` call.
+
+    Covers every input the evaluation depends on: the hardware (including the fault
+    state and whether the scheduler is fault-aware), the workload and the full plan —
+    recompute config, placement, mem-pairs, parallelism, collective, split strategy
+    and host offload all flow in through the plan dataclass.
+    """
+    return combine_fingerprints(
+        hardware_fingerprint(wafer, faults, fault_aware),
+        fingerprint(workload),
+        fingerprint(plan),
+    )
+
+
+def combine_fingerprints(*digests: str) -> str:
+    """Merge component content addresses into one key (cheap — no canonicalization)."""
+    merged = hashlib.sha256()
+    for digest in digests:
+        merged.update(digest.encode("ascii"))
+        merged.update(b"\x00")
+    return merged.hexdigest()
+
+
+class CacheStats:
+    """Mutable hit/miss accounting shared by cache users."""
+
+    __slots__ = ("hits", "misses", "evictions")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CacheStats(hits={self.hits}, misses={self.misses}, evictions={self.evictions})"
+
+
+class EvaluationCache:
+    """Bounded LRU cache from evaluation fingerprints to evaluation results.
+
+    ``max_entries`` bounds memory for week-long DSE sweeps; 0 or ``None`` means
+    unbounded.  The cache stores whatever the evaluator produced (an
+    :class:`~repro.core.evaluator.EvaluationResult`), treating it as immutable.
+    """
+
+    def __init__(self, max_entries: Optional[int] = 65536) -> None:
+        if max_entries is not None and max_entries < 0:
+            raise ValueError("max_entries cannot be negative")
+        self.max_entries = max_entries or None
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[str, Any]" = OrderedDict()
+
+    # ------------------------------------------------------------------ dict protocol
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    # ------------------------------------------------------------------ access
+    def get(self, key: str) -> Optional[Any]:
+        """Return the cached result for ``key``, counting a hit or miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def peek(self, key: str) -> Optional[Any]:
+        """Like :meth:`get` but without touching the counters or LRU order."""
+        return self._entries.get(key)
+
+    def put(self, key: str, value: Any) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        if self.max_entries is not None and len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def get_or_compute(self, key: str, compute) -> Any:
+        """Return the cached value for ``key``, computing and storing it on a miss."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry
+        self.stats.misses += 1
+        value = compute()
+        self.put(key, value)
+        return value
+
+    def clear(self) -> None:
+        """Drop all entries (the counters survive so long-run stats stay meaningful)."""
+        self._entries.clear()
+
+    # ------------------------------------------------------------------ reporting
+    @property
+    def hits(self) -> int:
+        return self.stats.hits
+
+    @property
+    def misses(self) -> int:
+        return self.stats.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.stats.hit_rate

@@ -17,10 +17,18 @@ time so that searchers can still rank it (and prune it).
 
 from __future__ import annotations
 
+import copy
 import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.evalcache import (
+    EvaluationCache,
+    combine_fingerprints,
+    fingerprint,
+    hardware_fingerprint,
+)
+from repro.core.parallel_map import parallel_map, resolve_workers
 from repro.core.plan import MemPair, RecomputeConfig, StagePlacement, TrainingPlan
 from repro.core.pp_engine import InterStageCommPlan, PPEngine
 from repro.core.tp_engine import StageTimes, TPEngine
@@ -89,6 +97,21 @@ class EvaluationResult:
         )
 
 
+class _PoolEvaluationTask:
+    """Picklable closure pricing one plan in a worker process.
+
+    Holds a cache-stripped evaluator: the parent answers cache hits before dispatch, so
+    shipping the (potentially multi-MB) result cache to workers would buy nothing.
+    """
+
+    def __init__(self, evaluator: "Evaluator", workload: TrainingWorkload) -> None:
+        self.evaluator = evaluator
+        self.workload = workload
+
+    def __call__(self, plan: TrainingPlan) -> "EvaluationResult":
+        return self.evaluator.evaluate(self.workload, plan)
+
+
 class Evaluator:
     """Prices training plans on a wafer configuration."""
 
@@ -102,6 +125,9 @@ class Evaluator:
         predictor: Optional[OperatorPredictor] = None,
         faults: Optional[FaultModel] = None,
         fault_aware: bool = True,
+        cache: Optional[EvaluationCache] = None,
+        use_cache: bool = True,
+        memoize_stages: bool = True,
     ) -> None:
         self.wafer = wafer
         self.faults = faults or FaultModel()
@@ -109,6 +135,26 @@ class Evaluator:
         self.mesh = MeshTopology.from_wafer(wafer, self.faults)
         self._predictor = predictor
         self._tp_engines: Dict[Tuple, TPEngine] = {}
+        #: Plan-level result cache (content-addressed; see :mod:`repro.core.evalcache`).
+        #: ``use_cache=False`` gives the raw path benchmarks compare against.
+        self.cache: Optional[EvaluationCache] = (
+            cache if cache is not None else (EvaluationCache() if use_cache else None)
+        )
+        self.memoize_stages = memoize_stages
+        #: Number of evaluations actually priced (cache misses + uncached calls).
+        self.raw_evaluations = 0
+        # Incremental per-instance state, hoisted out of evaluate(): one PP engine per
+        # mesh, one memory model per model config, one operator graph per workload shape.
+        self._pp_engine = PPEngine(self.mesh)
+        self._memory_models: Dict[object, TrainingMemoryModel] = {}
+        self._layer_operators: Dict[Tuple, List] = {}
+        # Fingerprint component memos: the hardware digest is static while the fault
+        # model is empty (it is recomputed per call otherwise, so in-place fault
+        # injection still invalidates keys); workload/plan digests are memoized by
+        # structural equality, which is exactly what makes repeated GA elites cheap.
+        self._hardware_fp: Optional[str] = None
+        self._workload_fps: Dict[TrainingWorkload, str] = {}
+        self._plan_fps: Dict[TrainingPlan, str] = {}
 
     # ------------------------------------------------------------------ helpers
     def _tp_engine(self, plan: TrainingPlan) -> TPEngine:
@@ -120,9 +166,25 @@ class Evaluator:
                 predictor=self._predictor,
                 collective=plan.collective,
                 split_strategy=plan.split_strategy,
+                memoize=self.memoize_stages,
             )
             self._tp_engines[key] = engine
         return engine
+
+    def _memory_model(self, workload: TrainingWorkload) -> TrainingMemoryModel:
+        model = self._memory_models.get(workload.model)
+        if model is None:
+            model = TrainingMemoryModel(workload.model)
+            self._memory_models[workload.model] = model
+        return model
+
+    def _layer_ops(self, workload: TrainingWorkload):
+        key = (workload.model, workload.micro_batch_size, workload.seq_len)
+        operators = self._layer_operators.get(key)
+        if operators is None:
+            operators = workload.layer_operators()
+            self._layer_operators[key] = operators
+        return operators
 
     def default_placement(self, plan: TrainingPlan) -> StagePlacement:
         """Serpentine placement used when a plan does not specify one."""
@@ -166,9 +228,9 @@ class Evaluator:
         num_microbatches: int,
     ) -> List[float]:
         """Per-die memory footprint of every stage after recomputation and balancing."""
-        memory = TrainingMemoryModel(workload.model)
+        memory = self._memory_model(workload)
         pp, tp = plan.parallelism.pp, plan.parallelism.tp
-        operators = workload.layer_operators()
+        operators = self._layer_ops(workload)
         recompute = plan.recompute if plan.recompute.num_stages == pp else RecomputeConfig.none(pp)
         fractions = [recompute.recompute_fraction(s, operators) for s in range(pp)]
         breakdown = memory.pipeline_breakdown(
@@ -188,8 +250,99 @@ class Evaluator:
         return footprints
 
     # ------------------------------------------------------------------ evaluation
+    def fingerprint(self, workload: TrainingWorkload, plan: TrainingPlan) -> str:
+        """Content address of one (wafer, faults, workload, plan) evaluation."""
+        if self.faults.is_empty:
+            if self._hardware_fp is None:
+                self._hardware_fp = hardware_fingerprint(
+                    self.wafer, self.faults, self.fault_aware
+                )
+            hardware_fp = self._hardware_fp
+        else:
+            # Fault models can be mutated in place (robustness study); re-digest.
+            hardware_fp = hardware_fingerprint(self.wafer, self.faults, self.fault_aware)
+        workload_fp = self._workload_fps.get(workload)
+        if workload_fp is None:
+            workload_fp = fingerprint(workload)
+            self._workload_fps[workload] = workload_fp
+        plan_fp = self._plan_fps.get(plan)
+        if plan_fp is None:
+            plan_fp = fingerprint(plan)
+            if len(self._plan_fps) >= 65536:
+                self._plan_fps.clear()
+            self._plan_fps[plan] = plan_fp
+        return combine_fingerprints(hardware_fp, workload_fp, plan_fp)
+
     def evaluate(self, workload: TrainingWorkload, plan: TrainingPlan) -> EvaluationResult:
-        """Price one training iteration of ``workload`` under ``plan``."""
+        """Price one training iteration of ``workload`` under ``plan``.
+
+        Results are memoized in :attr:`cache` (when enabled) behind a structural
+        fingerprint, so GA elites, duplicate children and repeated scheduler probes
+        are priced exactly once.
+        """
+        if self.cache is None:
+            self.raw_evaluations += 1
+            return self._evaluate_uncached(workload, plan)
+        key = self.fingerprint(workload, plan)
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached
+        self.raw_evaluations += 1
+        result = self._evaluate_uncached(workload, plan)
+        self.cache.put(key, result)
+        return result
+
+    def evaluate_many(
+        self,
+        workload: TrainingWorkload,
+        plans: Sequence[TrainingPlan],
+        parallel: Optional[int] = None,
+    ) -> List[EvaluationResult]:
+        """Price many plans, optionally on a process pool, preserving order.
+
+        This is the one pool-pricing path every search loop shares.  With ``parallel``
+        workers, plans the cache already knows are answered locally (counted as hits);
+        the remaining *unique* plans are shipped to the pool behind a cache-stripped
+        evaluator copy, priced once each (counted as misses/raw evaluations), and the
+        results absorbed back into the parent cache.  Results are identical to the
+        serial path for any worker count.
+        """
+        workers = resolve_workers(parallel)
+        if workers <= 1 or len(plans) < 2:
+            return [self.evaluate(workload, plan) for plan in plans]
+
+        results: List[Optional[EvaluationResult]] = [None] * len(plans)
+        keys: List[Optional[str]] = [None] * len(plans)
+        pending: "Dict[TrainingPlan, List[int]]" = {}
+        for index, plan in enumerate(plans):
+            if self.cache is not None:
+                key = self.fingerprint(workload, plan)
+                keys[index] = key
+                cached = self.cache.get(key)
+                if cached is not None:
+                    results[index] = cached
+                    continue
+            pending.setdefault(plan, []).append(index)
+
+        if pending:
+            unique_plans = list(pending)
+            shipped = copy.copy(self)
+            shipped.cache = None  # workers gain nothing from the parent's snapshot
+            task = _PoolEvaluationTask(shipped, workload)
+            chunksize = max(1, math.ceil(len(unique_plans) / workers))
+            priced = parallel_map(task, unique_plans, parallel=parallel, chunksize=chunksize)
+            for plan, result in zip(unique_plans, priced):
+                self.raw_evaluations += 1  # priced once per unique plan, pool-side
+                for index in pending[plan]:
+                    results[index] = result
+                    if self.cache is not None and keys[index] is not None:
+                        self.cache.put(keys[index], result)
+
+        return results  # type: ignore[return-value]
+
+    def _evaluate_uncached(
+        self, workload: TrainingWorkload, plan: TrainingPlan
+    ) -> EvaluationResult:
         parallelism = plan.parallelism
         tp, pp, dp = parallelism.tp, parallelism.pp, parallelism.dp
         if parallelism.world_size > self.wafer.num_dies:
@@ -203,7 +356,7 @@ class Evaluator:
         # ---------------------------------------------------------------- memory check
         footprints = self.stage_memory(workload, plan, num_microbatches)
         capacity = self.wafer.die.dram_capacity
-        memory_model = TrainingMemoryModel(workload.model)
+        memory_model = self._memory_model(workload)
         offload_traffic_bytes = 0.0
         if plan.offload_to_host:
             # Evicted checkpoints cross the host link twice per micro-batch (write on the
@@ -221,9 +374,9 @@ class Evaluator:
 
         # ---------------------------------------------------------------- stage times
         engine = self._tp_engine(plan)
-        memory = TrainingMemoryModel(workload.model)
+        memory = memory_model
         layers = memory.layers_per_stage(pp)
-        operators = workload.layer_operators()
+        operators = self._layer_ops(workload)
         recompute = plan.recompute if plan.recompute.num_stages == pp else RecomputeConfig.none(pp)
 
         forward: List[float] = []
@@ -255,7 +408,7 @@ class Evaluator:
             )
 
         # ---------------------------------------------------------------- inter-stage comm
-        pp_engine = PPEngine(self.mesh)
+        pp_engine = self._pp_engine
         activation_bytes = PPEngine.activation_bytes(workload)
         microbatch_dram_time = activation_bytes / self.wafer.die.dram_bandwidth
         comm_plan = pp_engine.plan(

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field, replace
+from operator import itemgetter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.evaluator import EvaluationResult, Evaluator
@@ -83,12 +84,30 @@ class GeneticOptimizer:
     def fitness(self, plan: TrainingPlan) -> Tuple[float, EvaluationResult]:
         """Paper fitness: iteration time × (1 + normalised GlobalCost); lower is better."""
         result = self.evaluator.evaluate(self.workload, plan)
+        return self._fitness_of(plan, result), result
+
+    def _fitness_of(self, plan: TrainingPlan, result: EvaluationResult) -> float:
+        """The fitness of an already-priced plan (shared by serial and parallel paths)."""
         if result.oom:
-            return float("inf"), result
+            return float("inf")
         placement = plan.placement or self.evaluator.default_placement(plan)
         cost = global_cost(placement, plan.mem_pairs)
         normaliser = max(1.0, plan.parallelism.pp)
-        return result.iteration_time * (1.0 + cost / (10.0 * normaliser)), result
+        return result.iteration_time * (1.0 + cost / (10.0 * normaliser))
+
+    def _score_population(
+        self, population: Sequence[TrainingPlan], parallel: Optional[int]
+    ) -> List[Tuple[float, EvaluationResult]]:
+        """Price every individual, in population order.
+
+        Delegates to :meth:`Evaluator.evaluate_many` — the shared cache-aware pool
+        path — so the parallel run returns exactly what the serial run would.
+        """
+        results = self.evaluator.evaluate_many(self.workload, list(population), parallel)
+        return [
+            (self._fitness_of(plan, result), result)
+            for plan, result in zip(population, results)
+        ]
 
     # ------------------------------------------------------------------ GA operators
     def _op1_toggle_recompute(self, plan: TrainingPlan) -> TrainingPlan:
@@ -186,18 +205,26 @@ class GeneticOptimizer:
 
     # ------------------------------------------------------------------ selection
     def _select(self, scored: List[Tuple[float, TrainingPlan]]) -> List[TrainingPlan]:
-        scored = sorted(scored, key=lambda item: item[0])
+        # Sort/min on the fitness alone (itemgetter(0)): comparing the raw tuples would
+        # fall through to the plans on fitness ties and TrainingPlan is not orderable.
+        # sorted() is stable, so equal-fitness plans keep their population order.
+        scored = sorted(scored, key=itemgetter(0))
         survivors: List[TrainingPlan] = []
         elite_count = max(1, int(round(self.config.omega * self.config.population_size / 2)))
         survivors.extend(plan for _, plan in scored[:elite_count])
         while len(survivors) < self.config.population_size // 2:
             a, b = self._rng.sample(scored, 2)
-            survivors.append(min(a, b, key=lambda item: item[0])[1])
+            survivors.append(min(a, b, key=itemgetter(0))[1])
         return survivors
 
     # ------------------------------------------------------------------ main loop
-    def optimize(self, seed_plan: TrainingPlan) -> GAResult:
-        """Run the GA starting from (and always retaining) the seed plan."""
+    def optimize(self, seed_plan: TrainingPlan, parallel: Optional[int] = None) -> GAResult:
+        """Run the GA starting from (and always retaining) the seed plan.
+
+        ``parallel`` prices each generation's unique individuals on a process pool of
+        that many workers (negative = all CPUs); the GA trajectory — selection, best
+        plan, fitness history — is identical to the serial run for any worker count.
+        """
         population: List[TrainingPlan] = [seed_plan]
         while len(population) < self.config.population_size:
             population.append(self.mutate(seed_plan))
@@ -209,8 +236,9 @@ class GeneticOptimizer:
 
         for _ in range(self.config.generations):
             scored = []
-            for plan in population:
-                fit, result = self.fitness(plan)
+            for plan, (fit, result) in zip(
+                population, self._score_population(population, parallel)
+            ):
                 scored.append((fit, plan))
                 if fit < best_fitness:
                     best_fitness, best_plan, best_result = fit, plan, result

@@ -15,6 +15,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.core.central_scheduler import CentralScheduler
 from repro.core.evaluator import Evaluator
+from repro.core.parallel_map import parallel_map
 from repro.hardware.area import AreaModel
 from repro.hardware.template import ComputeDieConfig, CoreConfig, DieConfig, DramChipletConfig, WaferConfig
 from repro.units import tflops
@@ -113,30 +114,46 @@ class DieGranularityDse:
         )
 
     # ------------------------------------------------------------------ sweep
-    def sweep(self, max_tp: int = 8) -> List[DieDesignPoint]:
-        """Evaluate every (area, aspect ratio) design point and normalise the objective."""
-        raw: List[Tuple[WaferConfig, float, float, float, float]] = []
-        for area in self.areas:
-            for aspect in self.aspect_ratios:
-                wafer = self.build_wafer(area, aspect)
-                scheduler = CentralScheduler(
-                    wafer, evaluator=Evaluator(wafer), max_tp=max_tp, optimize_placement=False
-                )
-                best = scheduler.best(self.workload)
-                throughput = best.result.throughput if best is not None else 0.0
-                memory = wafer.total_dram_capacity
-                raw.append((wafer, area, aspect, throughput, memory))
+    def _evaluate_point(self, point: Tuple[float, float, int]) -> Tuple[str, float, float]:
+        """Price one (area, aspect ratio) design point: (wafer name, throughput, memory).
+
+        Each design point re-tiles the wafer, so design points share no evaluator state
+        and parallelise perfectly across processes.
+        """
+        area, aspect, max_tp = point
+        wafer = self.build_wafer(area, aspect)
+        scheduler = CentralScheduler(
+            wafer, evaluator=Evaluator(wafer), max_tp=max_tp, optimize_placement=False
+        )
+        best = scheduler.best(self.workload)
+        throughput = best.result.throughput if best is not None else 0.0
+        return wafer.name, throughput, wafer.total_dram_capacity
+
+    def sweep(self, max_tp: int = 8, parallel: Optional[int] = None) -> List[DieDesignPoint]:
+        """Evaluate every (area, aspect ratio) design point and normalise the objective.
+
+        ``parallel`` distributes whole design points over a process pool of that many
+        workers (negative = all CPUs); point order and results match the serial run.
+        """
+        grid = [
+            (area, aspect, max_tp) for area in self.areas for aspect in self.aspect_ratios
+        ]
+        priced = parallel_map(self._evaluate_point, grid, parallel=parallel)
+        raw: List[Tuple[str, float, float, float, float]] = [
+            (name, area, aspect, throughput, memory)
+            for (area, aspect, _), (name, throughput, memory) in zip(grid, priced)
+        ]
 
         max_throughput = max((r[3] for r in raw), default=1.0) or 1.0
         max_memory = max((r[4] for r in raw), default=1.0) or 1.0
         points: List[DieDesignPoint] = []
-        for wafer, area, aspect, throughput, memory in raw:
+        for name, area, aspect, throughput, memory in raw:
             size_class, shape_class = classify_die(area, aspect)
             norm_tp = throughput / max_throughput
             norm_mem = memory / max_memory
             points.append(
                 DieDesignPoint(
-                    name=wafer.name,
+                    name=name,
                     area_mm2=area,
                     aspect_ratio=aspect,
                     size_class=size_class,

@@ -1,0 +1,67 @@
+"""Process-pool mapping for the search loops (GA, central scheduler, hardware DSE).
+
+All three searchers are embarrassingly parallel across candidates: each candidate is
+priced by a pure function of picklable inputs (wafer/workload/plan dataclasses).  This
+module provides one ordered ``parallel_map`` built on ``concurrent.futures`` that the
+searchers share, with the conventions that keep results identical to the serial path:
+
+* mapping preserves input order, so selection logic downstream sees the same sequence;
+* the mapped callable must be picklable — a module-level function, a
+  ``functools.partial`` over one, or an instance of a module-level class;
+* ``workers in (None, 0, 1)`` short-circuits to a plain serial loop, which keeps unit
+  tests deterministic and avoids pool startup for small searches.
+
+On Linux the ``fork`` start method shares the parent's imported modules with near-zero
+startup; where ``fork`` is unavailable the default context is used.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Iterable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+__all__ = ["parallel_map", "resolve_workers"]
+
+
+def resolve_workers(parallel: Optional[int]) -> int:
+    """Normalise a ``parallel=`` argument to an effective worker count.
+
+    ``None``, 0 and 1 mean serial; negative values mean "use every available CPU".
+    """
+    if parallel is None:
+        return 1
+    if parallel < 0:
+        return max(1, os.cpu_count() or 1)
+    return max(1, parallel)
+
+
+def _context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def parallel_map(
+    func: Callable[[T], R],
+    items: Sequence[T],
+    parallel: Optional[int] = None,
+    chunksize: int = 1,
+) -> List[R]:
+    """Map ``func`` over ``items``, optionally on a process pool, preserving order.
+
+    The serial fallback (``parallel in (None, 0, 1)`` or fewer than two items) runs the
+    exact same function in-process, so parallel and serial runs return identical
+    results whenever ``func`` is deterministic.
+    """
+    workers = resolve_workers(parallel)
+    if workers <= 1 or len(items) < 2:
+        return [func(item) for item in items]
+    workers = min(workers, len(items))
+    with ProcessPoolExecutor(max_workers=workers, mp_context=_context()) as pool:
+        return list(pool.map(func, items, chunksize=max(1, chunksize)))

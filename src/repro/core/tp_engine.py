@@ -13,7 +13,7 @@ backward execution times on the dies of the stage's TP group:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Optional, Sequence
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.hardware.template import WaferConfig
 from repro.interconnect.alphabeta import AlphaBetaLink
@@ -46,7 +46,14 @@ class StageTimes:
 
 
 class TPEngine:
-    """Prices intra-stage computation and TP communication for a wafer configuration."""
+    """Prices intra-stage computation and TP communication for a wafer configuration.
+
+    Stage pricing is memoized: within one plan, uniform middle stages share a single
+    signature — (workload, layer count, TP degree, recompute set, edge-stage flag,
+    link/compute quality) — so they are priced once instead of ``pp`` times, and the
+    memo persists across :meth:`stage_times` calls so GA generations re-pricing the
+    same stage shapes pay nothing.  Set ``memoize=False`` to benchmark the raw path.
+    """
 
     def __init__(
         self,
@@ -54,12 +61,51 @@ class TPEngine:
         predictor: Optional[OperatorPredictor] = None,
         collective: CollectiveAlgorithm = CollectiveAlgorithm.BIDIRECTIONAL_RING,
         split_strategy: TPSplitStrategy = TPSplitStrategy.HIDDEN,
+        memoize: bool = True,
     ) -> None:
         self.wafer = wafer
         base_predictor = predictor or AnalyticalPredictor(wafer.die)
         self.profile = OperatorProfileTable(base_predictor, wafer.die)
         self.collective = collective
         self.split_strategy = split_strategy
+        self.memoize = memoize
+        self._layer_graphs: Dict[Tuple, List[Operator]] = {}
+        self._embedding_ops: Dict[Tuple, Operator] = {}
+        self._stage_times: Dict[Tuple, StageTimes] = {}
+        self._stage_flops: Dict[Tuple, float] = {}
+
+    # ------------------------------------------------------------------ memoized inputs
+    def _workload_key(self, workload: TrainingWorkload) -> Tuple:
+        return (workload.model, workload.micro_batch_size, workload.seq_len)
+
+    def _layer_graph(self, workload: TrainingWorkload) -> List[Operator]:
+        """One layer's operator units for one micro-batch (memoized per workload shape)."""
+        if not self.memoize:
+            return build_layer_graph(
+                workload.model, workload.micro_batch_size, workload.seq_len
+            )
+        key = self._workload_key(workload)
+        operators = self._layer_graphs.get(key)
+        if operators is None:
+            operators = build_layer_graph(
+                workload.model, workload.micro_batch_size, workload.seq_len
+            )
+            self._layer_graphs[key] = operators
+        return operators
+
+    def _embedding_operator(self, workload: TrainingWorkload, tp: int) -> Operator:
+        if not self.memoize:
+            return embedding_operator(
+                workload.model, workload.micro_batch_size, workload.seq_len
+            ).sharded(tp)
+        key = self._workload_key(workload) + (tp,)
+        op = self._embedding_ops.get(key)
+        if op is None:
+            op = embedding_operator(
+                workload.model, workload.micro_batch_size, workload.seq_len
+            ).sharded(tp)
+            self._embedding_ops[key] = op
+        return op
 
     # ------------------------------------------------------------------ collectives
     def _collective_model(self, tp: int, link_quality: float = 1.0) -> CollectiveModel:
@@ -113,9 +159,40 @@ class TPEngine:
             raise ValueError("layer count cannot be negative")
         if not 0.0 < compute_throughput <= 1.0:
             raise ValueError("compute throughput fraction must be within (0, 1]")
-        operators = build_layer_graph(
-            workload.model, workload.micro_batch_size, workload.seq_len
+        is_edge = stage == 0 or stage == pp - 1
+        if self.memoize:
+            key = (
+                self._workload_key(workload),
+                layers_in_stage,
+                tp,
+                recomputed_ops,
+                is_edge,
+                link_quality,
+                compute_throughput,
+            )
+            cached = self._stage_times.get(key)
+            if cached is not None:
+                return cached
+        times = self._price_stage(
+            workload, layers_in_stage, tp, recomputed_ops, is_edge,
+            link_quality, compute_throughput,
         )
+        if self.memoize:
+            self._stage_times[key] = times
+        return times
+
+    def _price_stage(
+        self,
+        workload: TrainingWorkload,
+        layers_in_stage: int,
+        tp: int,
+        recomputed_ops: FrozenSet[str],
+        is_edge: bool,
+        link_quality: float,
+        compute_throughput: float,
+    ) -> StageTimes:
+        """Price one stage signature (the memoized body of :meth:`stage_times`)."""
+        operators = self._layer_graph(workload)
 
         fwd_compute = 0.0
         recompute_time = 0.0
@@ -136,10 +213,8 @@ class TPEngine:
         recompute = layers_in_stage * recompute_layer
 
         # Embedding / output head on the edge stages.
-        if stage == 0 or stage == pp - 1:
-            embed = embedding_operator(
-                workload.model, workload.micro_batch_size, workload.seq_len
-            ).sharded(tp)
+        if is_edge:
+            embed = self._embedding_operator(workload, tp)
             embed_time = self.profile.latency(embed) / compute_throughput
             forward += embed_time
             backward += 2.0 * embed_time
@@ -155,12 +230,18 @@ class TPEngine:
         self, workload: TrainingWorkload, stage: int, layers_in_stage: int, pp: int
     ) -> float:
         """Unsharded forward FLOPs of one stage for one micro-batch (for utilisation)."""
-        operators = build_layer_graph(
-            workload.model, workload.micro_batch_size, workload.seq_len
-        )
+        is_edge = stage == 0 or stage == pp - 1
+        key = (self._workload_key(workload), layers_in_stage, is_edge)
+        if self.memoize:
+            cached = self._stage_flops.get(key)
+            if cached is not None:
+                return cached
+        operators = self._layer_graph(workload)
         flops = layers_in_stage * sum(op.flops for op in operators)
-        if stage == 0 or stage == pp - 1:
+        if is_edge:
             flops += embedding_operator(
                 workload.model, workload.micro_batch_size, workload.seq_len
             ).flops
+        if self.memoize:
+            self._stage_flops[key] = flops
         return flops

@@ -17,7 +17,7 @@ which is exactly the memory imbalance shown in Fig. 5c / Fig. 8.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
 from repro.units import FP16_BYTES, FP32_BYTES
 from repro.workloads.models import ModelConfig
@@ -52,10 +52,35 @@ class StageMemoryBreakdown:
 
 
 class TrainingMemoryModel:
-    """Computes per-die memory footprints for a model under a (TP, PP) split."""
+    """Computes per-die memory footprints for a model under a (TP, PP) split.
+
+    Instances memoize the per-layer checkpoint volumes (which require building the
+    layer's operator graph) and the balanced layer split, so the search loops — which
+    share one model instance across thousands of plan probes via the evaluator — pay
+    the operator-graph construction once per (micro-batch, sequence) shape.
+    """
 
     def __init__(self, model: ModelConfig) -> None:
         self.model = model
+        self._layer_ckpt_bytes: Dict[Tuple[int, int], float] = {}
+        self._embed_ckpt_bytes: Dict[Tuple[int, int], float] = {}
+        self._layer_splits: Dict[int, List[int]] = {}
+
+    def _layer_checkpoint_bytes(self, micro_batch: int, seq: int) -> float:
+        key = (micro_batch, seq)
+        value = self._layer_ckpt_bytes.get(key)
+        if value is None:
+            value = layer_checkpoint_bytes(self.model, micro_batch, seq)
+            self._layer_ckpt_bytes[key] = value
+        return value
+
+    def _embedding_checkpoint_bytes(self, micro_batch: int, seq: int) -> float:
+        key = (micro_batch, seq)
+        value = self._embed_ckpt_bytes.get(key)
+        if value is None:
+            value = embedding_operator(self.model, micro_batch, seq).checkpoint_bytes
+            self._embed_ckpt_bytes[key] = value
+        return value
 
     # ------------------------------------------------------------------ model states
     def total_model_state_bytes(self) -> float:
@@ -63,11 +88,18 @@ class TrainingMemoryModel:
         return self.model.num_parameters * MODEL_STATE_BYTES_PER_PARAM
 
     def layers_per_stage(self, pp: int) -> List[int]:
-        """Balanced layer assignment across ``pp`` pipeline stages."""
+        """Balanced layer assignment across ``pp`` pipeline stages.
+
+        Returns a fresh list; the memoized split itself is never handed out.
+        """
         if pp <= 0:
             raise ValueError("pipeline parallel degree must be positive")
-        base, extra = divmod(self.model.num_layers, pp)
-        return [base + (1 if s < extra else 0) for s in range(pp)]
+        split = self._layer_splits.get(pp)
+        if split is None:
+            base, extra = divmod(self.model.num_layers, pp)
+            split = [base + (1 if s < extra else 0) for s in range(pp)]
+            self._layer_splits[pp] = split
+        return list(split)
 
     def stage_param_count(self, stage: int, pp: int) -> float:
         """Parameters held by one pipeline stage (embeddings live on the edge stages)."""
@@ -91,10 +123,10 @@ class TrainingMemoryModel:
     ) -> float:
         """Per-die checkpoint bytes one micro-batch leaves behind at ``stage``."""
         layers = self.layers_per_stage(pp)[stage]
-        per_layer = layer_checkpoint_bytes(self.model, micro_batch, seq) / tp
+        per_layer = self._layer_checkpoint_bytes(micro_batch, seq) / tp
         total = layers * per_layer
         if stage == 0:
-            total += embedding_operator(self.model, micro_batch, seq).checkpoint_bytes / tp
+            total += self._embedding_checkpoint_bytes(micro_batch, seq) / tp
         return total
 
     def retained_microbatches(self, stage: int, pp: int, num_microbatches: int) -> int:

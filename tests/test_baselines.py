@@ -11,7 +11,7 @@ from repro.parallelism.strategies import ParallelismConfig
 from repro.workloads.models import get_model
 from repro.workloads.workload import TrainingWorkload
 
-from conftest import make_small_wafer, make_tiny_model
+from repro_testlib import make_small_wafer, make_tiny_model
 
 
 @pytest.fixture(scope="module")

@@ -9,7 +9,7 @@ from repro.core.hardware_dse import DieGranularityDse, classify_die
 from repro.core.robustness import RobustnessEvaluator
 from repro.workloads.workload import TrainingWorkload
 
-from conftest import make_small_wafer, make_tiny_model
+from repro_testlib import make_small_wafer, make_tiny_model
 
 
 class TestWatosFramework:

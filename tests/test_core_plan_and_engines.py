@@ -16,7 +16,7 @@ from repro.interconnect.topology import MeshTopology
 from repro.parallelism.strategies import ParallelismConfig
 from repro.workloads.workload import TrainingWorkload
 
-from conftest import make_small_wafer
+from repro_testlib import make_small_wafer
 
 
 class TestRecomputeConfig:

@@ -16,7 +16,7 @@ from repro.parallelism.strategies import ParallelismConfig
 from repro.units import GB
 from repro.workloads.workload import TrainingWorkload
 
-from conftest import make_small_wafer, make_tiny_model
+from repro_testlib import make_small_wafer, make_tiny_model
 
 
 def simple_plan(tp=2, pp=4, shape=(1, 2), recompute=None) -> TrainingPlan:

@@ -5,7 +5,7 @@ import pytest
 from repro.hardware.area import AreaBudgetError, AreaModel
 from repro.hardware.template import DieConfig, DramChipletConfig, WaferConfig
 
-from conftest import make_small_wafer
+from repro_testlib import make_small_wafer
 
 
 @pytest.fixture

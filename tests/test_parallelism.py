@@ -22,7 +22,7 @@ from repro.units import GB
 from repro.workloads.models import get_model
 from repro.workloads.workload import TrainingWorkload
 
-from conftest import make_small_wafer
+from repro_testlib import make_small_wafer
 
 
 class TestParallelismConfig:

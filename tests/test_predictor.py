@@ -10,7 +10,7 @@ from repro.workloads.operators import Operator, OperatorKind
 from repro.workloads.transformer import build_layer_graph
 from repro.workloads.workload import TrainingWorkload
 
-from conftest import make_small_wafer, make_tiny_model
+from repro_testlib import make_small_wafer, make_tiny_model
 
 
 @pytest.fixture

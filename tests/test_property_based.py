@@ -17,7 +17,7 @@ from repro.units import MB
 from repro.workloads.memory import TrainingMemoryModel
 from repro.workloads.transformer import build_layer_graph, layer_flops
 
-from conftest import make_tiny_model
+from repro_testlib import make_tiny_model
 
 
 coords = st.tuples(st.integers(0, 15), st.integers(0, 15))

@@ -12,7 +12,7 @@ from repro.workloads.transformer import (
     layer_flops,
 )
 
-from conftest import make_small_moe_model, make_tiny_model
+from repro_testlib import make_small_moe_model, make_tiny_model
 
 
 class TestDenseLayer:
