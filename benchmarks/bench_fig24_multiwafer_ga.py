@@ -1,19 +1,41 @@
-"""Fig. 24 — (a) multi-wafer scaling vs multi-node Megatron; (b) GA ω trade-off."""
+#!/usr/bin/env python
+"""Fig. 24 — (a) multi-wafer scaling vs multi-node Megatron; (b) GA ω trade-off.
 
+Besides the figure reproductions (pytest), this module is the scale-out driver for the
+multi-wafer GA experiment: one GA per wafer slice, all wafers pricing against **one
+shared (optionally persistent) evaluation cache**, fanned out over a process pool with
+per-wafer seeded RNG streams.  The fan-out is pure memoization + decorrelated streams,
+so the parallel run is bit-identical to the serial one, and a second invocation against
+the same ``--cache`` path starts warm from disk.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fig24_multiwafer_ga.py \
+        --wafers 4 --parallel 4 --cache /tmp/fig24.jsonl --json -
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
 from dataclasses import replace
+from typing import Dict, List, Optional
 
 from repro.analysis.reporting import Report
 from repro.baselines.gpu_system import GpuEvaluator
 from repro.core.central_scheduler import CentralScheduler
+from repro.core.evalcache import EvaluationCache
 from repro.core.evaluator import Evaluator
 from repro.core.genetic import GAConfig, GeneticOptimizer
+from repro.core.parallel_map import parallel_map_merge, resolve_workers
 from repro.hardware.configs import GpuSystemConfig, dgx_b300_equalized
+from repro.hardware.template import WaferConfig
 from repro.interconnect.topology import MultiWaferTopology
 from repro.units import FP16_BYTES, tbps
 from repro.workloads.models import get_model
 from repro.workloads.workload import TrainingWorkload
-
-from conftest import emit, run_once
 
 MODELS_24A = {
     "gpt-175b": (64, 4, 2048),
@@ -22,13 +44,15 @@ MODELS_24A = {
 }
 
 
-def multi_wafer_throughput(wafer, workload, num_wafers, w2w_bandwidth):
+def multi_wafer_throughput(wafer, workload, num_wafers, w2w_bandwidth, cache=None):
     """Pipeline the model across ``num_wafers`` wafers and price the W2W boundary.
 
     Each wafer hosts a contiguous slice of the layers and is scheduled by WATOS
     independently; the wafer-to-wafer activation transfer overlaps with compute except
     for the pipeline-fill portion and any excess of the transfer over one micro-batch's
-    per-wafer time.
+    per-wafer time.  ``cache`` routes every per-wafer schedule through one shared
+    evaluation cache, so repeated calls (e.g. the same slice under several W2W
+    bandwidths) are priced once.
     """
     node = MultiWaferTopology(num_wafers=num_wafers, wafer=wafer, w2w_bandwidth=w2w_bandwidth)
     sub_model = replace(workload.model, name=f"{workload.model.name}-slice",
@@ -37,7 +61,7 @@ def multi_wafer_throughput(wafer, workload, num_wafers, w2w_bandwidth):
         sub_model, workload.global_batch_size, workload.micro_batch_size,
         workload.seq_len,
     )
-    best = CentralScheduler(wafer).best(sub_workload)
+    best = CentralScheduler(wafer, cache=cache).best(sub_workload)
     if best is None:
         return 0.0
     sub_iteration = best.result.iteration_time
@@ -53,20 +77,214 @@ def multi_wafer_throughput(wafer, workload, num_wafers, w2w_bandwidth):
     return total_flops / total_time
 
 
+# ---------------------------------------------------------------- multi-wafer GA sweep
+def wafer_slice_workloads(
+    workload: TrainingWorkload, num_wafers: int
+) -> List[TrainingWorkload]:
+    """The per-wafer layer slices of a model pipelined across ``num_wafers`` wafers.
+
+    Remainder layers go to the front wafers.  Slices with equal layer counts share one
+    model name (and therefore one evaluation fingerprint), which is exactly what lets
+    the shared cache price the uniform middle wafers once.
+    """
+    if num_wafers < 1:
+        raise ValueError("need at least one wafer")
+    if num_wafers > workload.model.num_layers:
+        raise ValueError(
+            f"cannot pipeline {workload.model.num_layers} layers across "
+            f"{num_wafers} wafers (each wafer needs at least one layer)"
+        )
+    base, remainder = divmod(workload.model.num_layers, num_wafers)
+    slices = []
+    for index in range(num_wafers):
+        layers = base + (1 if index < remainder else 0)
+        sub_model = replace(
+            workload.model,
+            name=f"{workload.model.name}-slice{layers}L",
+            num_layers=layers,
+        )
+        slices.append(
+            TrainingWorkload(
+                sub_model,
+                workload.global_batch_size,
+                workload.micro_batch_size,
+                workload.seq_len,
+            )
+        )
+    return slices
+
+
+class _WaferGaTask:
+    """Picklable task running one wafer's GA against a private, warm-seeded cache."""
+
+    def __init__(self, wafer: WaferConfig, ga_config: GAConfig, warm_entries: Dict) -> None:
+        self.wafer = wafer
+        self.ga_config = ga_config
+        self.warm_entries = warm_entries
+
+    def __call__(self, item):
+        index, workload, seed_plan = item
+        child = EvaluationCache(max_entries=None)
+        child.seed(self.warm_entries)
+        evaluator = Evaluator(self.wafer, cache=child)
+        ga = GeneticOptimizer(evaluator, workload, self.ga_config.stream(index))
+        outcome = ga.optimize(seed_plan)
+        payload = {
+            "wafer": index,
+            "layers": workload.model.num_layers,
+            "best_fitness": outcome.best_fitness,
+            "throughput": outcome.best_result.throughput,
+        }
+        return payload, child.carry()
+
+
+def run_multiwafer_ga(
+    wafer: WaferConfig,
+    workload: TrainingWorkload,
+    num_wafers: int,
+    ga_config: GAConfig,
+    cache: EvaluationCache,
+    parallel: Optional[int] = None,
+) -> List[Dict]:
+    """One GA per wafer slice, all pricing against ``cache``; returns per-wafer rows.
+
+    Wafer ``i`` runs on RNG stream ``ga_config.stream(i)``, so the per-wafer
+    trajectories are independent of execution order and worker count: the parallel
+    fan-out is bit-identical to the serial loop.  Worker cache deltas are merged back
+    in wafer order and flushed to the cache's store when one is attached.
+    """
+    slices = wafer_slice_workloads(workload, num_wafers)
+    items = []
+    for index, sub_workload in enumerate(slices):
+        best = CentralScheduler(wafer, evaluator=Evaluator(wafer, cache=cache)).best(
+            sub_workload
+        )
+        if best is None:
+            raise ValueError(f"no feasible plan for wafer slice {index}")
+        items.append((index, sub_workload, best.plan))
+
+    chunksize = max(1, -(-len(items) // resolve_workers(parallel)))
+    rows = parallel_map_merge(
+        _WaferGaTask(wafer, ga_config, cache.export()),
+        items,
+        parallel=parallel,
+        chunksize=chunksize,
+        merge=cache.absorb_carry,
+    )
+    cache.flush()
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Multi-wafer GA with a shared persistent evaluation cache"
+    )
+    parser.add_argument("--wafers", type=int, default=4, help="number of wafer slices")
+    parser.add_argument("--population", type=int, default=8, help="GA population size")
+    parser.add_argument("--generations", type=int, default=8, help="GA generations")
+    parser.add_argument("--seed", type=int, default=0, help="base GA RNG seed")
+    parser.add_argument(
+        "--parallel", type=int, default=None,
+        help="process-pool workers for the per-wafer GA fan-out (-1 = all CPUs)",
+    )
+    parser.add_argument(
+        "--cache", metavar="PATH", default=None,
+        help="persistent cache store (.jsonl or .sqlite); warm-starts when it exists",
+    )
+    parser.add_argument(
+        "--skip-verify", action="store_true",
+        help="skip the serial verification run (bit-identity check)",
+    )
+    parser.add_argument(
+        "--json", metavar="OUT", default=None,
+        help="write the metrics as JSON to this path ('-' for stdout)",
+    )
+    args = parser.parse_args(argv)
+
+    # Same toy wafer/workload pair as bench_search_throughput, so the whole experiment
+    # matrix completes in seconds while still forcing recomputation and balancing.
+    from bench_search_throughput import bench_wafer, bench_workload
+
+    wafer, workload = bench_wafer(), bench_workload()
+    config = GAConfig(
+        population_size=args.population, generations=args.generations, seed=args.seed
+    )
+
+    shared = EvaluationCache(store=args.cache) if args.cache else EvaluationCache()
+    loaded = shared.stats.loaded
+    start = time.perf_counter()
+    rows = run_multiwafer_ga(
+        wafer, workload, args.wafers, config, shared, parallel=args.parallel
+    )
+    elapsed = time.perf_counter() - start
+    stats = shared.stats
+
+    fitness_match = None
+    if not args.skip_verify:
+        cold = EvaluationCache()
+        serial_rows = run_multiwafer_ga(wafer, workload, args.wafers, config, cold)
+        fitness_match = [r["best_fitness"] for r in rows] == [
+            r["best_fitness"] for r in serial_rows
+        ]
+        if not fitness_match:
+            print("ERROR: parallel/warm best_fitness diverged from serial", file=sys.stderr)
+            return 1
+
+    shared.close()
+    metrics = {
+        "wafers": args.wafers,
+        "parallel_workers": args.parallel,
+        "seconds": elapsed,
+        "per_wafer": rows,
+        "best_fitness": [r["best_fitness"] for r in rows],
+        "cache_hits": stats.hits,
+        "cache_misses": stats.misses,
+        "cache_hit_rate": stats.hit_rate,
+        "loaded_entries": loaded,
+        "warm_start": loaded > 0,
+        "flushed_entries": stats.flushed,
+        "store": args.cache,
+        "best_fitness_match": fitness_match,
+    }
+    print(
+        f"multi-wafer GA {args.wafers}x({args.population}x{args.generations}): "
+        f"{elapsed:.2f}s, hit rate {stats.hit_rate:.1%} "
+        f"({stats.hits} hits / {stats.misses} misses, {loaded} loaded from store)"
+    )
+    if args.json == "-":
+        json.dump(metrics, sys.stdout, indent=2)
+        print()
+    elif args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(metrics, handle, indent=2)
+        print(f"metrics written to {args.json}")
+    return 0
+
+
+# ------------------------------------------------------------------------ pytest part
 def test_fig24a_multi_wafer_scaling(benchmark, config3):
+    from conftest import emit, run_once
+
     gpu_cluster = GpuSystemConfig(
         name="4-node-dgx", num_gpus=32, gpus_per_node=8, gpu=dgx_b300_equalized().gpu,
     )
 
     def run():
+        # One shared cache across every (model, W2W bandwidth) cell: the same wafer
+        # slice under two bandwidths is scheduled once and re-priced from the cache.
+        cache = EvaluationCache()
         rows = {}
         for model_name, (batch, micro, seq) in MODELS_24A.items():
             workload = TrainingWorkload(get_model(model_name), batch, micro, seq)
             gpu = GpuEvaluator(gpu_cluster).evaluate(workload)
             rows[model_name] = {
                 "Megatron-4node": gpu.throughput / 1e12,
-                "WATOS-4 (0.4 TB/s W2W)": multi_wafer_throughput(config3, workload, 4, 400e9) / 1e12,
-                "WATOS-18 (1.8 TB/s W2W)": multi_wafer_throughput(config3, workload, 4, tbps(1.8)) / 1e12,
+                "WATOS-4 (0.4 TB/s W2W)": multi_wafer_throughput(
+                    config3, workload, 4, 400e9, cache=cache
+                ) / 1e12,
+                "WATOS-18 (1.8 TB/s W2W)": multi_wafer_throughput(
+                    config3, workload, 4, tbps(1.8), cache=cache
+                ) / 1e12,
             }
         return rows
 
@@ -81,6 +299,8 @@ def test_fig24a_multi_wafer_scaling(benchmark, config3):
 
 
 def test_fig24b_ga_omega_tradeoff(benchmark, config3):
+    from conftest import emit, run_once
+
     workload = TrainingWorkload(get_model("llama2-30b"), 64, 8, 4096)
     seed_plan = CentralScheduler(config3).best(workload).plan
     evaluator = Evaluator(config3)
@@ -104,3 +324,7 @@ def test_fig24b_ga_omega_tradeoff(benchmark, config3):
 
     for curve in curves.values():
         assert all(curve[i + 1] >= curve[i] - 1e-9 for i in range(len(curve) - 1))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

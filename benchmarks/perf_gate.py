@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""CI perf-regression gate for the search-throughput benchmark.
+
+Two modes:
+
+* **check** (default) — compare a fresh ``bench_search_throughput.py --json`` result
+  against the committed ``benchmarks/baseline.json`` and fail (exit 1) when
+  ``evals_per_sec`` drops more than ``--max-drop`` (30 % by default) below the
+  baseline::
+
+      PYTHONPATH=src python benchmarks/bench_search_throughput.py --json out.json
+      python benchmarks/perf_gate.py --current out.json
+
+* **refresh** — re-measure on the current machine and rewrite the baseline.  The
+  committed baseline is written with ``--headroom`` (default 0.5): the gate value is
+  ``measured × (1 − headroom)``, so a CI runner up to ~2× slower than the refresh
+  machine still passes while a real regression of the search stack does not::
+
+      PYTHONPATH=src python benchmarks/perf_gate.py --refresh
+
+The gate also fails when the benchmark itself reports a correctness problem
+(``best_fitness_match`` false): speed without serial-identical results is a bug, not
+a win.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+DEFAULT_BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)), "baseline.json")
+GATE_METRIC = "evals_per_sec"
+
+
+def load_json(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def check(current_path: str, baseline_path: str, max_drop: float) -> int:
+    current = load_json(current_path)
+    baseline = load_json(baseline_path)
+    gate_value = baseline[GATE_METRIC]
+    measured = current[GATE_METRIC]
+    floor = gate_value * (1.0 - max_drop)
+
+    if current.get("best_fitness_match") is False:
+        print("FAIL: benchmark reports best_fitness mismatch (cached != uncached)")
+        return 1
+
+    verdict = "PASS" if measured >= floor else "FAIL"
+    print(
+        f"{verdict}: {GATE_METRIC} {measured:,.0f} vs baseline {gate_value:,.0f} "
+        f"(floor {floor:,.0f} at max drop {max_drop:.0%})"
+    )
+    if "speedup" in current:
+        print(f"      cache speedup {current['speedup']:.1f}x, "
+              f"hit rate {current.get('cache_hit_rate', 0.0):.1%}")
+    if verdict == "FAIL":
+        print("      refresh the baseline with: "
+              "PYTHONPATH=src python benchmarks/perf_gate.py --refresh")
+        return 1
+    return 0
+
+
+def refresh(out_path: str, headroom: float, population: int, generations: int) -> int:
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    import tempfile
+
+    from bench_search_throughput import main as bench_main
+
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+        tmp = handle.name
+    try:
+        status = bench_main(
+            ["--json", tmp, "--population", str(population),
+             "--generations", str(generations)]
+        )
+        if status != 0:
+            print("FAIL: benchmark run failed; baseline not refreshed")
+            return status
+        measured = load_json(tmp)
+    finally:
+        os.unlink(tmp)
+
+    baseline = {
+        GATE_METRIC: measured[GATE_METRIC] * (1.0 - headroom),
+        "measured_evals_per_sec": measured[GATE_METRIC],
+        "headroom": headroom,
+        "population": measured["population"],
+        "generations": measured["generations"],
+        "speedup_at_refresh": measured.get("speedup"),
+        "cache_hit_rate_at_refresh": measured.get("cache_hit_rate"),
+        "refresh_command": "PYTHONPATH=src python benchmarks/perf_gate.py --refresh",
+    }
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(baseline, handle, indent=2)
+        handle.write("\n")
+    print(
+        f"baseline refreshed: gate {baseline[GATE_METRIC]:,.0f} {GATE_METRIC} "
+        f"({measured[GATE_METRIC]:,.0f} measured, {headroom:.0%} headroom) -> {out_path}"
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--current", metavar="JSON",
+                        help="metrics from bench_search_throughput.py --json")
+    parser.add_argument("--baseline", metavar="JSON", default=DEFAULT_BASELINE,
+                        help="committed baseline (default: benchmarks/baseline.json)")
+    parser.add_argument("--max-drop", type=float, default=0.30,
+                        help="maximum tolerated fractional drop below the baseline")
+    parser.add_argument("--refresh", action="store_true",
+                        help="re-measure and rewrite the baseline instead of checking")
+    parser.add_argument("--headroom", type=float, default=0.5,
+                        help="refresh: fraction shaved off the measured value")
+    parser.add_argument("--population", type=int, default=16,
+                        help="refresh: GA population for the measurement run")
+    parser.add_argument("--generations", type=int, default=30,
+                        help="refresh: GA generations for the measurement run")
+    args = parser.parse_args(argv)
+
+    if args.refresh:
+        return refresh(args.baseline, args.headroom, args.population, args.generations)
+    if not args.current:
+        parser.error("--current is required unless --refresh is given")
+    return check(args.current, args.baseline, args.max_drop)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

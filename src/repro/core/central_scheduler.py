@@ -9,15 +9,15 @@ DRAM allocation), evaluates every surviving plan and keeps the best.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 from repro.core.dram_allocation import DramAllocator
+from repro.core.evalcache import EvaluationCache
 from repro.core.evaluator import EvaluationResult, Evaluator
 from repro.core.placement import PlacementOptimizer, serpentine_placement
 from repro.core.plan import RecomputeConfig, TrainingPlan
 from repro.core.recomputation import GcmrScheduler
-from repro.core.tp_engine import TPEngine
 from repro.hardware.template import WaferConfig
 from repro.interconnect.collectives import CollectiveAlgorithm
 from repro.interconnect.topology import MeshTopology
@@ -45,6 +45,10 @@ class CentralScheduler:
 
     wafer: WaferConfig
     evaluator: Optional[Evaluator] = None
+    #: Shared evaluation cache used when no explicit ``evaluator`` is supplied, so DSE
+    #: sweeps that build one scheduler per design point still reuse (and persist) one
+    #: content-addressed result store instead of starting cold every time.
+    cache: Optional[EvaluationCache] = None
     collective: CollectiveAlgorithm = CollectiveAlgorithm.BIDIRECTIONAL_RING
     #: Collective algorithms the TP engine is allowed to explore (§IV-E-1: "can also be
     #: configured to explore other intra-stage communication mechanisms").
@@ -58,7 +62,7 @@ class CentralScheduler:
 
     def __post_init__(self) -> None:
         if self.evaluator is None:
-            self.evaluator = Evaluator(self.wafer)
+            self.evaluator = Evaluator(self.wafer, cache=self.cache)
         self._gcmr = GcmrScheduler(self.wafer)
         self._mesh = MeshTopology.from_wafer(self.wafer)
 

@@ -18,25 +18,58 @@ fingerprint of everything that determines the outcome:
 Fingerprints are structural, not identity-based: two plans built independently but
 describing the same strategy share one cache entry.  The cache is a bounded LRU and
 exposes hit/miss counters so benchmarks can track search efficiency.
+
+**Persistence.**  A cache can be attached to a :class:`CacheStore` backend (JSONL or
+sqlite, see :func:`open_store`) so repeated DSE sweeps across *processes* start warm:
+entries loaded from disk are reported in :attr:`CacheStats.loaded`, new results are
+spilled with :meth:`EvaluationCache.flush`, and stores carry a versioned fingerprint
+namespace — bumping :data:`CACHE_SCHEMA_VERSION` (or evaluating with a different
+fingerprint vocabulary) invalidates stale stores instead of serving wrong results.
+Corrupt rows or a truncated store degrade to a cold start, never an error.
+
+**Scale-out.**  Worker processes evaluate against a private cache seeded from the
+parent's entries (:meth:`seed`), and the parent merges each worker's freshly priced
+entries back (:meth:`delta` / :meth:`absorb`), so one shared store serves a whole
+multi-wafer or wafer×workload fan-out.
 """
 
 from __future__ import annotations
 
 import enum
 import hashlib
+import importlib
+import json
+import os
+import sqlite3
+import tempfile
 from collections import OrderedDict
 from dataclasses import fields, is_dataclass
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 __all__ = [
+    "CACHE_SCHEMA_VERSION",
     "EvaluationCache",
     "CacheStats",
+    "CacheStore",
+    "JsonlCacheStore",
+    "SqliteCacheStore",
     "canonicalize",
     "combine_fingerprints",
+    "default_namespace",
     "fingerprint",
     "hardware_fingerprint",
     "evaluation_fingerprint",
+    "open_store",
 ]
+
+#: Version of the fingerprint vocabulary + stored-value encoding.  Bump whenever either
+#: changes incompatibly; stores written under a different version are discarded on load.
+CACHE_SCHEMA_VERSION = 1
+
+
+def default_namespace() -> str:
+    """The namespace persisted stores are validated against on load."""
+    return f"watos-evalcache-v{CACHE_SCHEMA_VERSION}"
 
 
 # ---------------------------------------------------------------------- canonical form
@@ -113,15 +146,338 @@ def combine_fingerprints(*digests: str) -> str:
     return merged.hexdigest()
 
 
+# ---------------------------------------------------------------------- value codec
+# Stored values are encoded to a JSON-compatible form that round-trips the evaluator's
+# result dataclasses *exactly* (Python's json floats are shortest-round-trip, and the
+# module accepts Infinity/NaN), so a warm-started search is bit-identical to a cold one.
+
+
+def encode_value(value: Any) -> Any:
+    """Encode ``value`` into JSON-serialisable form (markers for non-JSON types)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, enum.Enum):
+        return {"__enum__": _type_ref(type(value)), "name": value.name}
+    if is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__dataclass__": _type_ref(type(value)),
+            "fields": {f.name: encode_value(getattr(value, f.name)) for f in fields(value)},
+        }
+    if isinstance(value, tuple):
+        return {"__tuple__": [encode_value(v) for v in value]}
+    if isinstance(value, list):
+        return {"__list__": [encode_value(v) for v in value]}
+    if isinstance(value, (set, frozenset)):
+        encoded = [encode_value(v) for v in value]
+        return {"__set__": sorted(encoded, key=repr)}
+    if isinstance(value, dict):
+        return {"__map__": [[encode_value(k), encode_value(v)] for k, v in value.items()]}
+    raise TypeError(f"cannot encode {type(value).__name__} for cache persistence")
+
+
+def decode_value(encoded: Any) -> Any:
+    """Inverse of :func:`encode_value`; raises ``ValueError`` on malformed input."""
+    if encoded is None or isinstance(encoded, (bool, int, float, str)):
+        return encoded
+    if isinstance(encoded, dict):
+        if "__enum__" in encoded:
+            cls = _resolve_type(encoded["__enum__"])
+            if not (isinstance(cls, type) and issubclass(cls, enum.Enum)):
+                raise ValueError(f"{encoded['__enum__']} is not an enum")
+            return cls[encoded["name"]]
+        if "__dataclass__" in encoded:
+            cls = _resolve_type(encoded["__dataclass__"])
+            if not is_dataclass(cls):
+                raise ValueError(f"{encoded['__dataclass__']} is not a dataclass")
+            kwargs = {name: decode_value(v) for name, v in encoded["fields"].items()}
+            return cls(**kwargs)
+        if "__tuple__" in encoded:
+            return tuple(decode_value(v) for v in encoded["__tuple__"])
+        if "__list__" in encoded:
+            return [decode_value(v) for v in encoded["__list__"]]
+        if "__set__" in encoded:
+            return frozenset(decode_value(v) for v in encoded["__set__"])
+        if "__map__" in encoded:
+            return {decode_value(k): decode_value(v) for k, v in encoded["__map__"]}
+        raise ValueError(f"unknown cache encoding markers: {sorted(encoded)}")
+    raise ValueError(f"cannot decode {type(encoded).__name__}")
+
+
+def _type_ref(cls: type) -> str:
+    return f"{cls.__module__}:{cls.__qualname__}"
+
+
+def _resolve_type(ref: str) -> type:
+    module_name, _, qualname = ref.partition(":")
+    if not module_name.startswith("repro") and module_name != "builtins":
+        raise ValueError(f"refusing to resolve type outside the repro package: {ref}")
+    obj: Any = importlib.import_module(module_name)
+    for part in qualname.split("."):
+        obj = getattr(obj, part)
+    return obj
+
+
+# ---------------------------------------------------------------------- disk stores
+class CacheStore:
+    """Backend interface for persisting cache entries across processes.
+
+    A store is namespaced: :meth:`load` returns entries only when the on-disk namespace
+    matches (otherwise the stale store is discarded), and every implementation must
+    survive a corrupt or truncated file by degrading to an empty store.  Rows that fail
+    to decode are skipped and counted in :attr:`load_errors`.
+    """
+
+    #: Rows skipped during the most recent :meth:`load` (corruption / stale classes).
+    load_errors: int = 0
+
+    def __init__(self, path: str, namespace: Optional[str] = None) -> None:
+        self.path = str(path)
+        self.namespace = namespace or default_namespace()
+
+    def load(self) -> Dict[str, Any]:
+        """All valid entries, or ``{}`` for a missing/corrupt/foreign-namespace store."""
+        raise NotImplementedError
+
+    def append(self, entries: Mapping[str, Any]) -> None:
+        """Persist new entries (later appends with the same key win on load)."""
+        raise NotImplementedError
+
+    def replace_all(self, entries: Mapping[str, Any]) -> None:
+        """Atomically rewrite the store to exactly ``entries`` (compaction)."""
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        """Release any held resources (sqlite connections)."""
+
+    def __enter__(self) -> "CacheStore":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def _move_aside(path: str) -> None:
+    """Preserve an unreadable/foreign file at ``<path>.corrupt`` instead of deleting it.
+
+    A mistyped ``--cache`` path must never destroy user data: recovery means starting
+    cold, not truncating whatever sat at the path.
+    """
+    if os.path.exists(path):
+        os.replace(path, path + ".corrupt")
+
+
+class JsonlCacheStore(CacheStore):
+    """Append-only JSONL spill: one header line, then one ``{"k":…, "v":…}`` row each.
+
+    Append-only writes make concurrent sweeps safe-ish (a torn last line is skipped on
+    the next load) and keep the warm-start path a single sequential read.
+    """
+
+    _HEADER_FORMAT = "watos-evalcache-jsonl"
+
+    def __init__(self, path: str, namespace: Optional[str] = None) -> None:
+        super().__init__(path, namespace)
+        #: Set when load() found a file that is not ours; the first write moves it
+        #: aside to ``<path>.corrupt`` rather than truncating it in place.
+        self._foreign_file = False
+
+    def load(self) -> Dict[str, Any]:
+        self.load_errors = 0
+        self._foreign_file = False
+        if not os.path.exists(self.path):
+            return {}
+        entries: Dict[str, Any] = {}
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                header_line = handle.readline()
+                header = self._parse_header(header_line)
+                if header is None:
+                    # Not an evalcache file at all: leave it untouched until a write
+                    # actually needs the path, then preserve it at <path>.corrupt.
+                    self._foreign_file = True
+                    return {}
+                if header.get("namespace") != self.namespace:
+                    # Our file, stale namespace: safe to reset in place.
+                    self.replace_all({})
+                    return {}
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        row = json.loads(line)
+                        entries[str(row["k"])] = decode_value(row["v"])
+                    except (ValueError, KeyError, TypeError, AttributeError, ImportError):
+                        self.load_errors += 1
+        except OSError:
+            return {}
+        return entries
+
+    def _parse_header(self, header_line: str) -> Optional[Dict]:
+        try:
+            header = json.loads(header_line)
+        except ValueError:
+            return None
+        if isinstance(header, dict) and header.get("format") == self._HEADER_FORMAT:
+            return header
+        return None
+
+    def _header(self) -> str:
+        return json.dumps({"format": self._HEADER_FORMAT, "namespace": self.namespace})
+
+    def append(self, entries: Mapping[str, Any]) -> None:
+        if not entries:
+            return
+        if self._foreign_file:
+            _move_aside(self.path)
+            self._foreign_file = False
+        fresh = not os.path.exists(self.path)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            if fresh:
+                handle.write(self._header() + "\n")
+            for key, value in entries.items():
+                handle.write(json.dumps({"k": key, "v": encode_value(value)}) + "\n")
+
+    def replace_all(self, entries: Mapping[str, Any]) -> None:
+        if self._foreign_file:
+            _move_aside(self.path)
+            self._foreign_file = False
+        directory = os.path.dirname(os.path.abspath(self.path))
+        fd, tmp_path = tempfile.mkstemp(prefix=".evalcache-", dir=directory)
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(self._header() + "\n")
+                for key, value in entries.items():
+                    handle.write(json.dumps({"k": key, "v": encode_value(value)}) + "\n")
+            os.replace(tmp_path, self.path)
+        except BaseException:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise
+
+
+class SqliteCacheStore(CacheStore):
+    """Sqlite spill for large sweeps: keyed upserts, no whole-file rewrite on append."""
+
+    def __init__(self, path: str, namespace: Optional[str] = None) -> None:
+        super().__init__(path, namespace)
+        self._conn: Optional[sqlite3.Connection] = None
+
+    # ------------------------------------------------------------------ connection
+    def _connect(self) -> sqlite3.Connection:
+        if self._conn is None:
+            self._conn = sqlite3.connect(self.path)
+            self._conn.execute(
+                "CREATE TABLE IF NOT EXISTS meta (key TEXT PRIMARY KEY, value TEXT)"
+            )
+            self._conn.execute(
+                "CREATE TABLE IF NOT EXISTS entries (key TEXT PRIMARY KEY, value TEXT)"
+            )
+            self._conn.commit()
+        return self._conn
+
+    def _reset(self) -> None:
+        """Preserve an unreadable database file at ``<path>.corrupt`` and start fresh."""
+        self.close()
+        _move_aside(self.path)
+
+    def __getstate__(self):
+        # sqlite connections are process-local; workers reconnect lazily if they
+        # ever touch the store (they normally never do — see EvaluationCache).
+        state = self.__dict__.copy()
+        state["_conn"] = None
+        return state
+
+    def _stored_namespace(self, conn: sqlite3.Connection) -> Optional[str]:
+        row = conn.execute("SELECT value FROM meta WHERE key = 'namespace'").fetchone()
+        return row[0] if row else None
+
+    # ------------------------------------------------------------------ CacheStore
+    def load(self) -> Dict[str, Any]:
+        self.load_errors = 0
+        if not os.path.exists(self.path):
+            return {}
+        try:
+            conn = self._connect()
+            stored = self._stored_namespace(conn)
+            if stored is not None and stored != self.namespace:
+                conn.execute("DELETE FROM entries")
+                conn.execute(
+                    "INSERT OR REPLACE INTO meta VALUES ('namespace', ?)", (self.namespace,)
+                )
+                conn.commit()
+                return {}
+            rows = conn.execute("SELECT key, value FROM entries").fetchall()
+        except sqlite3.DatabaseError:
+            self._reset()
+            return {}
+        entries: Dict[str, Any] = {}
+        for key, blob in rows:
+            try:
+                entries[str(key)] = decode_value(json.loads(blob))
+            except (ValueError, KeyError, TypeError, AttributeError, ImportError):
+                self.load_errors += 1
+        return entries
+
+    def append(self, entries: Mapping[str, Any]) -> None:
+        if not entries:
+            return
+        try:
+            conn = self._connect()
+        except sqlite3.DatabaseError:
+            self._reset()
+            conn = self._connect()
+        conn.execute(
+            "INSERT OR REPLACE INTO meta VALUES ('namespace', ?)", (self.namespace,)
+        )
+        conn.executemany(
+            "INSERT OR REPLACE INTO entries VALUES (?, ?)",
+            [(key, json.dumps(encode_value(value))) for key, value in entries.items()],
+        )
+        conn.commit()
+
+    def replace_all(self, entries: Mapping[str, Any]) -> None:
+        try:
+            conn = self._connect()
+        except sqlite3.DatabaseError:
+            self._reset()
+            conn = self._connect()
+        conn.execute("DELETE FROM entries")
+        conn.execute(
+            "INSERT OR REPLACE INTO meta VALUES ('namespace', ?)", (self.namespace,)
+        )
+        conn.commit()
+        self.append(entries)
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+
+_SQLITE_SUFFIXES = (".sqlite", ".sqlite3", ".db")
+
+
+def open_store(path: str, namespace: Optional[str] = None) -> CacheStore:
+    """Pick a store backend from the path suffix (sqlite for ``.sqlite/.db``, else JSONL)."""
+    if str(path).lower().endswith(_SQLITE_SUFFIXES):
+        return SqliteCacheStore(path, namespace)
+    return JsonlCacheStore(path, namespace)
+
+
 class CacheStats:
     """Mutable hit/miss accounting shared by cache users."""
 
-    __slots__ = ("hits", "misses", "evictions")
+    __slots__ = ("hits", "misses", "evictions", "loaded", "flushed")
 
     def __init__(self) -> None:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: Entries warm-started from a persistent store.
+        self.loaded = 0
+        #: Entries written back to the persistent store.
+        self.flushed = 0
 
     @property
     def lookups(self) -> int:
@@ -131,16 +487,26 @@ class CacheStats:
     def hit_rate(self) -> float:
         return self.hits / self.lookups if self.lookups else 0.0
 
+    def add_counts(self, counts: Mapping[str, float]) -> None:
+        """Fold a worker's exported counters into this one (hit_rate is derived)."""
+        for name in ("hits", "misses", "evictions", "loaded", "flushed"):
+            setattr(self, name, getattr(self, name) + int(counts.get(name, 0)))
+
     def as_dict(self) -> Dict[str, float]:
         return {
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "loaded": self.loaded,
+            "flushed": self.flushed,
             "hit_rate": self.hit_rate,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"CacheStats(hits={self.hits}, misses={self.misses}, evictions={self.evictions})"
+        return (
+            f"CacheStats(hits={self.hits}, misses={self.misses}, "
+            f"evictions={self.evictions}, loaded={self.loaded})"
+        )
 
 
 class EvaluationCache:
@@ -149,14 +515,35 @@ class EvaluationCache:
     ``max_entries`` bounds memory for week-long DSE sweeps; 0 or ``None`` means
     unbounded.  The cache stores whatever the evaluator produced (an
     :class:`~repro.core.evaluator.EvaluationResult`), treating it as immutable.
+
+    With ``store`` attached (a :class:`CacheStore` or a path accepted by
+    :func:`open_store`), construction warm-starts from disk and :meth:`flush` spills
+    every entry priced since the last flush — including entries the LRU has since
+    evicted, so disk coverage can exceed the in-memory bound.
     """
 
-    def __init__(self, max_entries: Optional[int] = 65536) -> None:
+    def __init__(
+        self,
+        max_entries: Optional[int] = 65536,
+        store: Optional[object] = None,
+        namespace: Optional[str] = None,
+    ) -> None:
         if max_entries is not None and max_entries < 0:
             raise ValueError("max_entries cannot be negative")
         self.max_entries = max_entries or None
         self.stats = CacheStats()
         self._entries: "OrderedDict[str, Any]" = OrderedDict()
+        #: Keys adopted via :meth:`seed` (warm start) — excluded from :meth:`delta`.
+        self._seeded: set = set()
+        #: Entries priced since the last :meth:`flush` (survives LRU eviction).
+        self._dirty: Dict[str, Any] = {}
+        self.store: Optional[CacheStore] = (
+            open_store(store, namespace) if isinstance(store, (str, os.PathLike)) else store
+        )
+        if self.store is not None:
+            loaded = self.store.load()
+            self.seed(loaded)
+            self.stats.loaded = len(loaded)
 
     # ------------------------------------------------------------------ dict protocol
     def __len__(self) -> int:
@@ -183,6 +570,7 @@ class EvaluationCache:
     def put(self, key: str, value: Any) -> None:
         self._entries[key] = value
         self._entries.move_to_end(key)
+        self._dirty[key] = value
         if self.max_entries is not None and len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
@@ -202,6 +590,99 @@ class EvaluationCache:
     def clear(self) -> None:
         """Drop all entries (the counters survive so long-run stats stay meaningful)."""
         self._entries.clear()
+        self._dirty.clear()
+        self._seeded.clear()
+
+    # ------------------------------------------------------------------ scale-out
+    def __getstate__(self):
+        """Pickled caches (shipped to pool workers) drop the store.
+
+        Stores hold process-local resources (file handles, sqlite connections) and
+        workers must never write them — deltas flow back through the parent, which
+        keeps the one live store.
+        """
+        state = self.__dict__.copy()
+        state["store"] = None
+        return state
+
+    def seed(self, entries: Mapping[str, Any]) -> int:
+        """Adopt warm entries without touching hit/miss counters or the dirty set.
+
+        Used for store warm-starts and for handing a parent cache's contents to a
+        worker process; seeded keys are excluded from :meth:`delta` so workers only
+        ship freshly priced results back.  ``max_entries`` still bounds the in-memory
+        result: when a persisted store has outgrown the bound, only the newest
+        entries stay resident (the store keeps everything).
+        """
+        adopted = 0
+        for key, value in entries.items():
+            if key not in self._entries:
+                self._entries[key] = value
+                adopted += 1
+            self._seeded.add(key)
+        if self.max_entries is not None:
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+        return adopted
+
+    def export(self) -> Dict[str, Any]:
+        """A plain-dict snapshot of the current entries (for seeding workers)."""
+        return dict(self._entries)
+
+    def delta(self) -> Dict[str, Any]:
+        """Entries priced by *this* cache instance: everything not seeded into it."""
+        fresh = {k: v for k, v in self._entries.items() if k not in self._seeded}
+        # Include dirty entries the LRU has already evicted — they were still priced
+        # here and the parent/store wants them.
+        for key, value in self._dirty.items():
+            if key not in self._seeded:
+                fresh.setdefault(key, value)
+        return fresh
+
+    def absorb(self, delta: Mapping[str, Any]) -> int:
+        """Merge a worker's delta; new entries count toward the next :meth:`flush`."""
+        adopted = 0
+        for key, value in delta.items():
+            if key not in self._entries and key not in self._dirty:
+                self.put(key, value)
+                adopted += 1
+        return adopted
+
+    def carry(self) -> Dict[str, Any]:
+        """What a worker ships back to the parent: its delta plus a counter snapshot."""
+        return {"delta": self.delta(), "stats": self.stats.as_dict()}
+
+    def absorb_carry(self, carry: Optional[Mapping[str, Any]]) -> None:
+        """Fold a worker's :meth:`carry` into this cache (entries and counters)."""
+        if carry is None:
+            return
+        self.absorb(carry["delta"])
+        self.stats.add_counts(carry["stats"])
+
+    # ------------------------------------------------------------------ persistence
+    def flush(self) -> int:
+        """Spill entries priced since the last flush to the attached store."""
+        if self.store is None or not self._dirty:
+            return 0
+        self.store.append(self._dirty)
+        written = len(self._dirty)
+        self.stats.flushed += written
+        self._seeded.update(self._dirty)
+        self._dirty.clear()
+        return written
+
+    def close(self) -> None:
+        """Flush and release the attached store (no-op without one)."""
+        if self.store is not None:
+            self.flush()
+            self.store.close()
+
+    def __enter__(self) -> "EvaluationCache":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ reporting
     @property

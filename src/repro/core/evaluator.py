@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import copy
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.evalcache import (
@@ -29,13 +29,13 @@ from repro.core.evalcache import (
     hardware_fingerprint,
 )
 from repro.core.parallel_map import parallel_map, resolve_workers
-from repro.core.plan import MemPair, RecomputeConfig, StagePlacement, TrainingPlan
-from repro.core.pp_engine import InterStageCommPlan, PPEngine
-from repro.core.tp_engine import StageTimes, TPEngine
+from repro.core.plan import RecomputeConfig, StagePlacement, TrainingPlan
+from repro.core.pp_engine import PPEngine
+from repro.core.tp_engine import TPEngine
 from repro.core.placement import serpentine_placement
 from repro.hardware.faults import FaultModel
 from repro.hardware.template import WaferConfig
-from repro.interconnect.collectives import CollectiveAlgorithm, CollectiveModel
+from repro.interconnect.collectives import CollectiveModel
 from repro.interconnect.alphabeta import AlphaBetaLink
 from repro.interconnect.topology import MeshTopology
 from repro.parallelism.pipeline import PipelineCostInputs, simulate_1f1b

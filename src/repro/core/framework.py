@@ -13,8 +13,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.central_scheduler import CentralScheduler, ExplorationRecord
+from repro.core.evalcache import EvaluationCache
 from repro.core.evaluator import EvaluationResult, Evaluator
-from repro.core.genetic import GAConfig, GAResult, GeneticOptimizer
+from repro.core.genetic import GAConfig, GeneticOptimizer
+from repro.core.parallel_map import parallel_map_merge, resolve_workers
 from repro.core.plan import TrainingPlan
 from repro.hardware.enumerator import ArchitectureEnumerator
 from repro.hardware.template import WaferConfig
@@ -77,6 +79,24 @@ class WatosResult:
         return max(outcomes, key=lambda o: o.throughput)
 
 
+class _ExplorePointTask:
+    """Picklable task pricing one (wafer, workload) point of the co-exploration.
+
+    Each call prices against a private cache seeded from the shared one (the pickled
+    snapshot travels to the worker) and ships freshly priced entries back as the carry,
+    so the parent can merge per-worker deltas into the shared store.  The search
+    trajectory is a pure function of the point, never of the cache contents, which is
+    what keeps the parallel fan-out bit-identical to the serial loop.
+    """
+
+    def __init__(self, watos: "Watos") -> None:
+        self.watos = watos
+
+    def __call__(self, point: Tuple[WaferConfig, TrainingWorkload]):
+        wafer, workload = point
+        return self.watos._explore_point(wafer, workload)
+
+
 class Watos:
     """Co-exploration of wafer-scale architecture and LLM training strategy."""
 
@@ -89,6 +109,7 @@ class Watos:
         collective: CollectiveAlgorithm = CollectiveAlgorithm.BIDIRECTIONAL_RING,
         split_strategies: Sequence[TPSplitStrategy] = (TPSplitStrategy.HIDDEN,),
         max_tp: int = 0,
+        cache: Optional[EvaluationCache] = None,
     ) -> None:
         if candidates is None and enumerator is None:
             enumerator = ArchitectureEnumerator()
@@ -100,13 +121,17 @@ class Watos:
         self.collective = collective
         self.split_strategies = tuple(split_strategies)
         self.max_tp = max_tp
+        #: One content-addressed cache shared by every (wafer, workload) point — the
+        #: fingerprint covers the wafer, so heterogeneous candidates coexist safely.
+        #: Attach a store (``EvaluationCache(store=path)``) to persist across runs.
+        self.cache = cache if cache is not None else EvaluationCache()
 
     # ------------------------------------------------------------------ single point
     def optimize(
         self, wafer: WaferConfig, workload: TrainingWorkload
     ) -> Optional[WorkloadOutcome]:
         """Find the best training plan for one workload on one wafer."""
-        evaluator = Evaluator(wafer)
+        evaluator = Evaluator(wafer, cache=self.cache)
         scheduler = CentralScheduler(
             wafer,
             evaluator=evaluator,
@@ -125,46 +150,82 @@ class Watos:
             if ga_result.best_result.throughput >= result.throughput:
                 plan, result = ga_result.best_plan, ga_result.best_result
             ga_history = ga_result.history
+        self.cache.flush()
         return WorkloadOutcome(
             wafer=wafer, workload=workload, plan=plan, result=result, ga_history=ga_history
         )
 
     # ------------------------------------------------------------------ full DSE
-    def explore(self, workloads: Sequence[TrainingWorkload]) -> WatosResult:
-        """Run the co-exploration over every candidate wafer and every workload."""
-        result = WatosResult()
-        for wafer in self.candidates:
-            evaluator = Evaluator(wafer)
-            scheduler = CentralScheduler(
-                wafer,
-                evaluator=evaluator,
-                collective=self.collective,
-                split_strategies=self.split_strategies,
-                max_tp=self.max_tp,
+    def _explore_point(self, wafer: WaferConfig, workload: TrainingWorkload):
+        """Price one (wafer, workload) point against a private cache; return the carry.
+
+        Runs identically in-process (serial path) and in a worker: the private cache
+        only changes *what is recomputed*, never the outcome, and the GA always starts
+        from the same ``ga_config`` seed for a given point.
+        """
+        child = EvaluationCache(max_entries=None)
+        child.seed(self.cache.export())
+        evaluator = Evaluator(wafer, cache=child)
+        scheduler = CentralScheduler(
+            wafer,
+            evaluator=evaluator,
+            collective=self.collective,
+            split_strategies=self.split_strategies,
+            max_tp=self.max_tp,
+        )
+        records = scheduler.explore(workload)
+        outcome: Optional[WorkloadOutcome] = None
+        feasible = [r for r in records if not r.result.oom]
+        if feasible:
+            best = max(feasible, key=lambda r: r.result.throughput)
+            plan, best_result = best.plan, best.result
+            ga_history: Tuple[float, ...] = ()
+            if self.use_ga:
+                optimizer = GeneticOptimizer(evaluator, workload, self.ga_config)
+                ga_outcome = optimizer.optimize(plan)
+                if ga_outcome.best_result.throughput >= best_result.throughput:
+                    plan, best_result = ga_outcome.best_plan, ga_outcome.best_result
+                ga_history = ga_outcome.history
+            outcome = WorkloadOutcome(
+                wafer=wafer,
+                workload=workload,
+                plan=plan,
+                result=best_result,
+                ga_history=ga_history,
             )
-            for workload in workloads:
-                records = scheduler.explore(workload)
-                key = f"{wafer.name}/{workload.model.name}"
-                result.exploration_records[key] = records
-                feasible = [r for r in records if not r.result.oom]
-                if not feasible:
-                    continue
-                best = max(feasible, key=lambda r: r.result.throughput)
-                plan, best_result = best.plan, best.result
-                ga_history: Tuple[float, ...] = ()
-                if self.use_ga:
-                    optimizer = GeneticOptimizer(evaluator, workload, self.ga_config)
-                    ga_outcome = optimizer.optimize(plan)
-                    if ga_outcome.best_result.throughput >= best_result.throughput:
-                        plan, best_result = ga_outcome.best_plan, ga_outcome.best_result
-                    ga_history = ga_outcome.history
-                result.outcomes.append(
-                    WorkloadOutcome(
-                        wafer=wafer,
-                        workload=workload,
-                        plan=plan,
-                        result=best_result,
-                        ga_history=ga_history,
-                    )
-                )
+        return (records, outcome), child.carry()
+
+    def explore(
+        self,
+        workloads: Sequence[TrainingWorkload],
+        parallel: Optional[int] = None,
+    ) -> WatosResult:
+        """Run the co-exploration over every candidate wafer and every workload.
+
+        ``parallel`` fans the (wafer × workload) points out over a process pool of that
+        many workers (negative = all CPUs).  Every point prices against a private cache
+        seeded from :attr:`cache`; per-worker deltas are merged back in point order and
+        flushed to the shared cache's store when one is attached, so the result *and*
+        the cache end state are identical to the serial run.
+        """
+        points = [
+            (wafer, workload) for wafer in self.candidates for workload in workloads
+        ]
+        chunksize = 1
+        if parallel is not None and parallel not in (0, 1):
+            chunksize = max(1, -(-len(points) // resolve_workers(parallel)))
+        priced = parallel_map_merge(
+            _ExplorePointTask(self),
+            points,
+            parallel=parallel,
+            chunksize=chunksize,
+            merge=self.cache.absorb_carry,
+        )
+        self.cache.flush()
+
+        result = WatosResult()
+        for (wafer, workload), (records, outcome) in zip(points, priced):
+            result.exploration_records[f"{wafer.name}/{workload.model.name}"] = records
+            if outcome is not None:
+                result.outcomes.append(outcome)
         return result

@@ -20,13 +20,13 @@ whose convergence/quality trade-off Fig. 24b sweeps.  Fitness is ``t_max × Glob
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from operator import itemgetter
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.evaluator import EvaluationResult, Evaluator
 from repro.core.placement import global_cost
-from repro.core.plan import MemPair, RecomputeConfig, StagePlacement, TrainingPlan
+from repro.core.plan import MemPair, RecomputeConfig, TrainingPlan
 from repro.workloads.workload import TrainingWorkload
 
 
@@ -48,6 +48,21 @@ class GAConfig:
             raise ValueError("need at least one generation")
         if not 0.0 <= self.omega <= 1.0:
             raise ValueError("omega must be within [0, 1]")
+
+    def stream(self, index: int) -> "GAConfig":
+        """This config with an independent, reproducible RNG stream for fan-out.
+
+        A multi-wafer (or multi-point) sweep runs one GA per wafer; giving wafer ``i``
+        ``config.stream(i)`` decorrelates the search trajectories while keeping every
+        stream a pure function of (base seed, index) — so a parallel fan-out and a
+        serial loop over the same streams are bit-identical.  Stream 0 is the base
+        config itself.
+        """
+        if index < 0:
+            raise ValueError("stream index cannot be negative")
+        if index == 0:
+            return self
+        return replace(self, seed=(self.seed * 1_000_003 + index) & 0x7FFF_FFFF)
 
 
 @dataclass(frozen=True)

@@ -10,12 +10,13 @@ and normalised throughput — the metric the paper plots.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.central_scheduler import CentralScheduler
+from repro.core.evalcache import EvaluationCache
 from repro.core.evaluator import Evaluator
-from repro.core.parallel_map import parallel_map
+from repro.core.parallel_map import parallel_map_merge
 from repro.hardware.area import AreaModel
 from repro.hardware.template import ComputeDieConfig, CoreConfig, DieConfig, DramChipletConfig, WaferConfig
 from repro.units import tflops
@@ -58,6 +59,7 @@ class DieGranularityDse:
         dram_chiplet: Optional[DramChipletConfig] = None,
         wafer_edge_mm: float = 198.32,
         compute_density_tflops_per_mm2: float = 1.28,
+        cache: Optional[EvaluationCache] = None,
     ) -> None:
         self.workload = workload
         self.areas = list(areas_mm2)
@@ -66,6 +68,10 @@ class DieGranularityDse:
         self.wafer_edge_mm = wafer_edge_mm
         self.compute_density = compute_density_tflops_per_mm2
         self.area_model = AreaModel()
+        #: Shared (optionally persistent) evaluation cache: every design point's
+        #: evaluator prices against it, so repeated sweeps start warm and distinct
+        #: points that reduce to the same (wafer, workload, plan) share one pricing.
+        self.cache = cache
 
     # ------------------------------------------------------------------ die building
     def build_die(self, area_mm2: float, aspect_ratio: float, num_dram: int = 4) -> DieConfig:
@@ -114,35 +120,54 @@ class DieGranularityDse:
         )
 
     # ------------------------------------------------------------------ sweep
-    def _evaluate_point(self, point: Tuple[float, float, int]) -> Tuple[str, float, float]:
+    def _evaluate_point(self, point: Tuple[float, float, int]):
         """Price one (area, aspect ratio) design point: (wafer name, throughput, memory).
 
         Each design point re-tiles the wafer, so design points share no evaluator state
-        and parallelise perfectly across processes.
+        and parallelise perfectly across processes.  With a shared cache attached the
+        point prices against a private cache seeded from it and ships freshly priced
+        entries back as the carry half of the ``(payload, carry)`` return.
         """
         area, aspect, max_tp = point
         wafer = self.build_wafer(area, aspect)
+        child: Optional[EvaluationCache] = None
+        if self.cache is not None:
+            child = EvaluationCache(max_entries=None)
+            child.seed(self.cache.export())
+        evaluator = Evaluator(wafer, cache=child) if child is not None else Evaluator(wafer)
         scheduler = CentralScheduler(
-            wafer, evaluator=Evaluator(wafer), max_tp=max_tp, optimize_placement=False
+            wafer, evaluator=evaluator, max_tp=max_tp, optimize_placement=False
         )
         best = scheduler.best(self.workload)
         throughput = best.result.throughput if best is not None else 0.0
-        return wafer.name, throughput, wafer.total_dram_capacity
+        payload = (wafer.name, throughput, wafer.total_dram_capacity)
+        return payload, child.carry() if child is not None else None
+
+    def _absorb(self, carry) -> None:
+        if self.cache is not None:
+            self.cache.absorb_carry(carry)
 
     def sweep(self, max_tp: int = 8, parallel: Optional[int] = None) -> List[DieDesignPoint]:
         """Evaluate every (area, aspect ratio) design point and normalise the objective.
 
         ``parallel`` distributes whole design points over a process pool of that many
         workers (negative = all CPUs); point order and results match the serial run.
+        With :attr:`cache` attached, worker deltas are merged back in point order and
+        spilled to the cache's store (when one is attached) before returning.
         """
         grid = [
             (area, aspect, max_tp) for area in self.areas for aspect in self.aspect_ratios
         ]
-        priced = parallel_map(self._evaluate_point, grid, parallel=parallel)
+        priced = parallel_map_merge(
+            self._evaluate_point, grid, parallel=parallel, merge=self._absorb
+        )
         raw: List[Tuple[str, float, float, float, float]] = [
             (name, area, aspect, throughput, memory)
             for (area, aspect, _), (name, throughput, memory) in zip(grid, priced)
         ]
+
+        if self.cache is not None:
+            self.cache.flush()
 
         max_throughput = max((r[3] for r in raw), default=1.0) or 1.0
         max_memory = max((r[4] for r in raw), default=1.0) or 1.0

@@ -20,12 +20,12 @@ from __future__ import annotations
 import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, Iterable, List, Optional, Sequence, TypeVar
+from typing import Any, Callable, List, Optional, Sequence, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
 
-__all__ = ["parallel_map", "resolve_workers"]
+__all__ = ["parallel_map", "parallel_map_merge", "resolve_workers"]
 
 
 def resolve_workers(parallel: Optional[int]) -> int:
@@ -65,3 +65,27 @@ def parallel_map(
     workers = min(workers, len(items))
     with ProcessPoolExecutor(max_workers=workers, mp_context=_context()) as pool:
         return list(pool.map(func, items, chunksize=max(1, chunksize)))
+
+
+def parallel_map_merge(
+    func: Callable[[T], Any],
+    items: Sequence[T],
+    parallel: Optional[int] = None,
+    chunksize: int = 1,
+    merge: Optional[Callable[[Any], None]] = None,
+) -> List[Any]:
+    """Map scatter/gather tasks that return ``(payload, carry)`` and fold each carry.
+
+    This is the convention the scale-out sweeps share: a worker task prices its slice
+    of the experiment matrix against a *private* evaluation cache seeded from the
+    parent's, and returns its payload together with a carry — the cache delta (freshly
+    priced entries) and a counter snapshot.  ``merge`` is applied to every carry in
+    submission order, so absorbing deltas into the parent's shared cache (and its
+    stats) yields the same end state for any worker count, including the serial path.
+    """
+    payloads: List[Any] = []
+    for payload, carry in parallel_map(func, items, parallel=parallel, chunksize=chunksize):
+        if merge is not None:
+            merge(carry)
+        payloads.append(payload)
+    return payloads

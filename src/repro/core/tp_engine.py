@@ -194,11 +194,13 @@ class TPEngine:
         """Price one stage signature (the memoized body of :meth:`stage_times`)."""
         operators = self._layer_graph(workload)
 
+        # Batch-profile the whole layer graph: one struct-of-arrays roofline pass on a
+        # cold profile table instead of an operator-by-operator walk.
+        latencies = self.profile.latencies([op.sharded(tp) for op in operators])
         fwd_compute = 0.0
         recompute_time = 0.0
-        for op in operators:
-            sharded = op.sharded(tp)
-            latency = self.profile.latency(sharded) / compute_throughput
+        for op, base_latency in zip(operators, latencies):
+            latency = base_latency / compute_throughput
             fwd_compute += latency
             if op.name in recomputed_ops:
                 recompute_time += latency

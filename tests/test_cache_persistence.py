@@ -1,0 +1,272 @@
+"""Tests for the persistent evaluation-cache stores: round-trips, namespace/version
+invalidation, corrupt-store recovery and the warm-start accounting.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.core.central_scheduler import CentralScheduler
+from repro.core.evalcache import (
+    EvaluationCache,
+    JsonlCacheStore,
+    SqliteCacheStore,
+    decode_value,
+    default_namespace,
+    encode_value,
+    open_store,
+)
+from repro.core.evaluator import EvaluationResult, Evaluator
+from repro.workloads.workload import TrainingWorkload
+
+from repro_testlib import make_small_wafer, make_tiny_model
+
+
+def sample_result(iteration_time: float = 1.5) -> EvaluationResult:
+    return EvaluationResult(
+        iteration_time=iteration_time,
+        useful_flops=3.25e12,
+        recompute_flops=0.125e12,
+        bubble_fraction=0.07,
+        stage_memory_bytes=(1.0, 2.5, float("inf")),
+        plan_label="tp4-pp2",
+        system_label="test-wafer",
+    )
+
+
+@pytest.fixture(params=["jsonl", "sqlite"])
+def store_path(request, tmp_path):
+    suffix = ".jsonl" if request.param == "jsonl" else ".sqlite"
+    return str(tmp_path / f"cache{suffix}")
+
+
+# ---------------------------------------------------------------------------- codec
+class TestCodec:
+    def test_result_roundtrip_is_exact(self):
+        result = sample_result()
+        assert decode_value(encode_value(result)) == result
+
+    def test_infinite_oom_result_roundtrips(self):
+        oom = EvaluationResult.out_of_memory("plan", "wafer")
+        decoded = decode_value(encode_value(oom))
+        assert decoded == oom and decoded.iteration_time == float("inf")
+
+    def test_primitives_and_containers(self):
+        value = {"a": (1, 2.5), "b": [True, None], "c": frozenset({"x", "y"})}
+        assert decode_value(encode_value(value)) == value
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            encode_value(object())
+
+    def test_unknown_marker_rejected(self):
+        with pytest.raises(ValueError):
+            decode_value({"__rocket__": 1})
+
+    def test_foreign_module_rejected(self):
+        with pytest.raises(ValueError):
+            decode_value({"__dataclass__": "os.path:join", "fields": {}})
+
+
+# ------------------------------------------------------------------------ round trip
+class TestRoundTrip:
+    def test_flush_and_warm_start(self, store_path):
+        result = sample_result()
+        with EvaluationCache(store=store_path) as cache:
+            cache.put("key-a", result)
+            cache.put("key-b", 42)
+            assert cache.flush() == 2
+
+        warm = EvaluationCache(store=store_path)
+        assert warm.stats.loaded == 2
+        assert warm.peek("key-a") == result
+        assert warm.peek("key-b") == 42
+        # Warm entries answer lookups as ordinary hits.
+        assert warm.get("key-a") == result
+        assert warm.stats.hits == 1
+        warm.close()
+
+    def test_incremental_appends_accumulate(self, store_path):
+        with EvaluationCache(store=store_path) as first:
+            first.put("a", 1)
+        with EvaluationCache(store=store_path) as second:
+            assert second.stats.loaded == 1
+            second.put("b", 2)
+        third = EvaluationCache(store=store_path)
+        assert third.stats.loaded == 2
+        third.close()
+
+    def test_flush_spills_evicted_entries(self, store_path):
+        cache = EvaluationCache(max_entries=2, store=store_path)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)  # evicts "a" from memory
+        assert cache.peek("a") is None
+        assert cache.flush() == 3  # ... but the store still gets all three
+        cache.close()
+        warm = EvaluationCache(store=store_path)
+        assert warm.stats.loaded == 3
+        warm.close()
+
+    def test_close_flushes(self, store_path):
+        cache = EvaluationCache(store=store_path)
+        cache.put("k", 7)
+        cache.close()  # no explicit flush
+        warm = EvaluationCache(store=store_path)
+        assert warm.peek("k") == 7
+        warm.close()
+
+    def test_open_store_suffix_dispatch(self, tmp_path):
+        assert isinstance(open_store(str(tmp_path / "x.sqlite")), SqliteCacheStore)
+        assert isinstance(open_store(str(tmp_path / "x.db")), SqliteCacheStore)
+        assert isinstance(open_store(str(tmp_path / "x.jsonl")), JsonlCacheStore)
+
+
+# ----------------------------------------------------------------- version namespace
+class TestNamespaceInvalidation:
+    def test_mismatched_namespace_discards_store(self, store_path):
+        with EvaluationCache(store=open_store(store_path, namespace="schema-v1")) as cache:
+            cache.put("k", 1)
+
+        stale = EvaluationCache(store=open_store(store_path, namespace="schema-v2"))
+        assert stale.stats.loaded == 0 and len(stale) == 0
+        stale.close()
+
+        # The store has been re-namespaced: the old namespace no longer loads either.
+        old = EvaluationCache(store=open_store(store_path, namespace="schema-v1"))
+        assert old.stats.loaded == 0
+        old.close()
+
+    def test_default_namespace_is_versioned(self):
+        assert "v1" in default_namespace()
+
+
+# ------------------------------------------------------------------ corrupt recovery
+class TestCorruptStoreRecovery:
+    def test_jsonl_skips_corrupt_rows(self, tmp_path):
+        path = str(tmp_path / "cache.jsonl")
+        with EvaluationCache(store=path) as cache:
+            cache.put("good-1", 1)
+            cache.put("good-2", sample_result())
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("{torn-and-invalid\n")
+            handle.write(json.dumps({"k": "bad-type", "v": {"__rocket__": 0}}) + "\n")
+            handle.write(json.dumps({"wrong": "shape"}) + "\n")
+
+        store = open_store(path)
+        entries = store.load()
+        assert set(entries) == {"good-1", "good-2"}
+        assert store.load_errors == 3
+
+    def test_jsonl_foreign_file_preserved_not_truncated(self, tmp_path):
+        path = str(tmp_path / "cache.jsonl")
+        foreign = "this is not an evalcache file\n"
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(foreign)
+        cache = EvaluationCache(store=path)
+        assert cache.stats.loaded == 0
+        # A pure read must not destroy the user's file.
+        assert open(path, encoding="utf-8").read() == foreign
+        cache.put("k", 1)
+        cache.flush()
+        cache.close()
+        # The first write moves the foreign file aside instead of clobbering it.
+        assert open(path + ".corrupt", encoding="utf-8").read() == foreign
+        warm = EvaluationCache(store=path)
+        assert warm.stats.loaded == 1
+        warm.close()
+
+    def test_sqlite_corrupt_file_recovers_cold_and_is_preserved(self, tmp_path):
+        path = str(tmp_path / "cache.sqlite")
+        junk = b"definitely not a sqlite database"
+        with open(path, "wb") as handle:
+            handle.write(junk)
+        cache = EvaluationCache(store=path)
+        assert cache.stats.loaded == 0
+        assert open(path + ".corrupt", "rb").read() == junk
+        cache.put("k", sample_result())
+        cache.flush()
+        cache.close()
+        warm = EvaluationCache(store=path)
+        assert warm.stats.loaded == 1
+        warm.close()
+
+    def test_sqlite_corrupt_row_skipped(self, tmp_path):
+        path = str(tmp_path / "cache.sqlite")
+        with EvaluationCache(store=path) as cache:
+            cache.put("good", 5)
+        conn = sqlite3.connect(path)
+        conn.execute("INSERT INTO entries VALUES ('bad', 'not-json')")
+        conn.commit()
+        conn.close()
+        store = open_store(path)
+        entries = store.load()
+        assert entries == {"good": 5}
+        assert store.load_errors == 1
+        store.close()
+
+
+# -------------------------------------------------------------- evaluator integration
+class TestEvaluatorWarmStart:
+    def test_persisted_sweep_reprices_nothing(self, tmp_path):
+        wafer = make_small_wafer(dram_gb=1.0)
+        workload = TrainingWorkload(
+            make_tiny_model(), global_batch_size=32, micro_batch_size=8,
+            sequence_length=2048,
+        )
+        path = str(tmp_path / "sweep.jsonl")
+
+        cold_cache = EvaluationCache(store=path)
+        cold = CentralScheduler(wafer, evaluator=Evaluator(wafer, cache=cold_cache))
+        cold_records = cold.explore(workload)
+        cold_raw = cold.evaluator.raw_evaluations
+        assert cold_raw == len(cold_records) > 0
+        cold_cache.close()
+
+        warm_cache = EvaluationCache(store=path)
+        assert warm_cache.stats.loaded == cold_raw
+        warm = CentralScheduler(wafer, evaluator=Evaluator(wafer, cache=warm_cache))
+        warm_records = warm.explore(workload)
+        assert warm.evaluator.raw_evaluations == 0
+        assert warm_cache.stats.misses == 0
+        assert warm_cache.stats.hit_rate == 1.0
+        assert [r.result for r in warm_records] == [r.result for r in cold_records]
+        warm_cache.close()
+
+    def test_seed_respects_lru_bound(self, store_path):
+        with EvaluationCache(store=store_path) as writer:
+            for i in range(6):
+                writer.put(f"k{i}", i)
+        bounded = EvaluationCache(max_entries=3, store=store_path)
+        assert len(bounded) == 3
+        # The newest entries stay resident; the store keeps everything.
+        assert bounded.peek("k5") == 5 and bounded.peek("k0") is None
+        bounded.close()
+
+    def test_pickled_cache_drops_store(self, store_path):
+        import pickle
+
+        cache = EvaluationCache(store=store_path)
+        cache.put("k", 1)
+        cache.flush()  # sqlite: opens the (unpicklable) connection
+        clone = pickle.loads(pickle.dumps(cache))
+        assert clone.store is None
+        assert clone.peek("k") == 1
+        assert cache.store is not None  # the parent keeps its live store
+        cache.close()
+
+    def test_seed_export_delta_absorb(self):
+        parent = EvaluationCache()
+        parent.put("p", 1)
+        child = EvaluationCache()
+        child.seed(parent.export())
+        assert child.get("p") == 1 and child.stats.hits == 1
+        child.put("q", 2)
+        assert child.delta() == {"q": 2}
+        assert parent.absorb(child.delta()) == 1
+        assert parent.peek("q") == 2
+        # Re-absorbing the same delta is a no-op.
+        assert parent.absorb(child.delta()) == 0
