@@ -7,7 +7,6 @@ DeepSeek-671B-class workloads.
 
 import pytest
 
-from repro.analysis.metrics import normalize
 from repro.analysis.reporting import Report
 from repro.baselines.gpu_system import GpuEvaluator
 from repro.core.evaluator import Evaluator

@@ -1,7 +1,6 @@
 """Fig. 5 — motivation: (a) iteration time across (TP, PP); (b) TP link utilisation;
 (c) per-stage memory usage for TP=4, PP=8 (the 1F1B memory imbalance)."""
 
-import pytest
 
 from repro.analysis.metrics import normalize
 from repro.analysis.reporting import Report

@@ -2,13 +2,12 @@
 
 from dataclasses import replace
 
-import pytest
 
 from repro.analysis.reporting import Report
 from repro.core.evaluator import Evaluator
 from repro.core.plan import RecomputeConfig, TrainingPlan
 from repro.interconnect.alphabeta import AlphaBetaLink
-from repro.parallelism.fsdp import fsdp_cost, fsdp_traffic_bytes
+from repro.parallelism.fsdp import fsdp_cost
 from repro.parallelism.partition import best_mesh_shape
 from repro.parallelism.strategies import ParallelismConfig
 from repro.workloads.models import get_model

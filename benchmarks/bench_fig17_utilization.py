@@ -4,7 +4,6 @@ from repro.analysis.metrics import utilization_heatmap
 from repro.analysis.reporting import Report
 from repro.baselines.wafer_strategies import megatron_wafer_plan
 from repro.core.central_scheduler import CentralScheduler
-from repro.core.evaluator import Evaluator
 from repro.workloads.models import get_model
 from repro.workloads.workload import TrainingWorkload
 

@@ -1,7 +1,6 @@
 """Fig. 18 — ablation of WATOS's components: Baseline, +Recomputation scheduler,
 +Memory scheduler (placement + DRAM allocation), +GA global optimizer."""
 
-from repro.analysis.metrics import normalize
 from repro.analysis.reporting import Report
 from repro.core.central_scheduler import CentralScheduler
 from repro.core.dram_allocation import DramAllocator
@@ -92,7 +91,7 @@ def test_fig18_component_ablation(benchmark, config3):
         steps = {k.split()[-1]: v["throughput_tflops"] for k, v in rows.items()
                  if k.startswith(model_name)}
         report.add_table(f"{model_name}: normalised to baseline",
-                         {k: {"norm": v / steps['B'] if steps['B'] else 0.0} for k, v in steps.items()})
+                         {k: {"norm": v / steps["B"] if steps["B"] else 0.0} for k, v in steps.items()})
     emit(report)
 
     for model_name in MODELS:

@@ -2,7 +2,7 @@
 
 from repro.analysis.metrics import normalize
 from repro.analysis.reporting import Report
-from repro.baselines.dse_frameworks import DSE_FRAMEWORKS, evaluate_dse_framework
+from repro.baselines.dse_frameworks import evaluate_dse_framework
 from repro.workloads.models import get_model
 from repro.workloads.workload import TrainingWorkload
 

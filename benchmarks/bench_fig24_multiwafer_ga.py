@@ -21,7 +21,7 @@ import json
 import sys
 import time
 from dataclasses import replace
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.analysis.reporting import Report
 from repro.baselines.gpu_system import GpuEvaluator
@@ -29,7 +29,7 @@ from repro.core.central_scheduler import CentralScheduler
 from repro.core.evalcache import EvaluationCache
 from repro.core.evaluator import Evaluator
 from repro.core.genetic import GAConfig, GeneticOptimizer
-from repro.core.parallel_map import parallel_map_merge, resolve_workers
+from repro.core.parallel_map import WorkerPool, parallel_map_merge, task_cache
 from repro.hardware.configs import GpuSystemConfig, dgx_b300_equalized
 from repro.hardware.template import WaferConfig
 from repro.interconnect.topology import MultiWaferTopology
@@ -115,27 +115,31 @@ def wafer_slice_workloads(
 
 
 class _WaferGaTask:
-    """Picklable task running one wafer's GA against a private, warm-seeded cache."""
+    """Picklable task running one wafer's GA against the runtime-provided cache.
 
-    def __init__(self, wafer: WaferConfig, ga_config: GAConfig, warm_entries: Dict) -> None:
+    The cache comes from :func:`task_cache` — the shared parent cache on the serial
+    path, the worker's resident shard inside a :class:`WorkerPool` — so the task no
+    longer pickles a warm snapshot of every entry with every wafer item.
+    """
+
+    def __init__(self, wafer: WaferConfig, ga_config: GAConfig) -> None:
         self.wafer = wafer
         self.ga_config = ga_config
-        self.warm_entries = warm_entries
 
     def __call__(self, item):
         index, workload, seed_plan = item
-        child = EvaluationCache(max_entries=None)
-        child.seed(self.warm_entries)
-        evaluator = Evaluator(self.wafer, cache=child)
+        cache = task_cache()
+        evaluator = (
+            Evaluator(self.wafer, cache=cache) if cache is not None else Evaluator(self.wafer)
+        )
         ga = GeneticOptimizer(evaluator, workload, self.ga_config.stream(index))
         outcome = ga.optimize(seed_plan)
-        payload = {
+        return {
             "wafer": index,
             "layers": workload.model.num_layers,
             "best_fitness": outcome.best_fitness,
             "throughput": outcome.best_result.throughput,
         }
-        return payload, child.carry()
 
 
 def run_multiwafer_ga(
@@ -144,14 +148,16 @@ def run_multiwafer_ga(
     num_wafers: int,
     ga_config: GAConfig,
     cache: EvaluationCache,
-    parallel: Optional[int] = None,
+    parallel=None,
 ) -> List[Dict]:
     """One GA per wafer slice, all pricing against ``cache``; returns per-wafer rows.
 
     Wafer ``i`` runs on RNG stream ``ga_config.stream(i)``, so the per-wafer
     trajectories are independent of execution order and worker count: the parallel
-    fan-out is bit-identical to the serial loop.  Worker cache deltas are merged back
-    in wafer order and flushed to the cache's store when one is attached.
+    fan-out is bit-identical to the serial loop.  ``parallel`` takes a persistent
+    :class:`WorkerPool` (share one across the whole experiment matrix) or an integer;
+    worker cache deltas are merged back in worker order and flushed to the cache's
+    store when one is attached.
     """
     slices = wafer_slice_workloads(workload, num_wafers)
     items = []
@@ -163,13 +169,8 @@ def run_multiwafer_ga(
             raise ValueError(f"no feasible plan for wafer slice {index}")
         items.append((index, sub_workload, best.plan))
 
-    chunksize = max(1, -(-len(items) // resolve_workers(parallel)))
     rows = parallel_map_merge(
-        _WaferGaTask(wafer, ga_config, cache.export()),
-        items,
-        parallel=parallel,
-        chunksize=chunksize,
-        merge=cache.absorb_carry,
+        _WaferGaTask(wafer, ga_config), items, parallel=parallel, cache=cache
     )
     cache.flush()
     return rows
@@ -212,23 +213,34 @@ def main(argv=None) -> int:
 
     shared = EvaluationCache(store=args.cache) if args.cache else EvaluationCache()
     loaded = shared.stats.loaded
-    start = time.perf_counter()
-    rows = run_multiwafer_ga(
-        wafer, workload, args.wafers, config, shared, parallel=args.parallel
-    )
-    elapsed = time.perf_counter() - start
-    stats = shared.stats
+    # One persistent pool for the whole experiment matrix: the timed run and any
+    # follow-up sweeps reuse the same forked workers and their resident cache shards.
+    pool = WorkerPool(args.parallel) if args.parallel not in (None, 0, 1) else None
+    try:
+        start = time.perf_counter()
+        rows = run_multiwafer_ga(
+            wafer, workload, args.wafers, config, shared,
+            parallel=pool if pool is not None else args.parallel,
+        )
+        elapsed = time.perf_counter() - start
+        stats = shared.stats
 
-    fitness_match = None
-    if not args.skip_verify:
-        cold = EvaluationCache()
-        serial_rows = run_multiwafer_ga(wafer, workload, args.wafers, config, cold)
-        fitness_match = [r["best_fitness"] for r in rows] == [
-            r["best_fitness"] for r in serial_rows
-        ]
-        if not fitness_match:
-            print("ERROR: parallel/warm best_fitness diverged from serial", file=sys.stderr)
-            return 1
+        fitness_match = None
+        if not args.skip_verify:
+            cold = EvaluationCache()
+            serial_rows = run_multiwafer_ga(wafer, workload, args.wafers, config, cold)
+            fitness_match = [r["best_fitness"] for r in rows] == [
+                r["best_fitness"] for r in serial_rows
+            ]
+            if not fitness_match:
+                print(
+                    "ERROR: parallel/warm best_fitness diverged from serial",
+                    file=sys.stderr,
+                )
+                return 1
+    finally:
+        if pool is not None:
+            pool.close()
 
     shared.close()
     metrics = {
@@ -240,6 +252,7 @@ def main(argv=None) -> int:
         "cache_hits": stats.hits,
         "cache_misses": stats.misses,
         "cache_hit_rate": stats.hit_rate,
+        "cache_shipped_entries": stats.shipped,
         "loaded_entries": loaded,
         "warm_start": loaded > 0,
         "flushed_entries": stats.flushed,

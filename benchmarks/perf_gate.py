@@ -1,24 +1,36 @@
 #!/usr/bin/env python
-"""CI perf-regression gate for the search-throughput benchmark.
+"""CI perf-regression gate for the search stack (throughput + parallel + persistence).
 
 Two modes:
 
-* **check** (default) — compare a fresh ``bench_search_throughput.py --json`` result
-  against the committed ``benchmarks/baseline.json`` and fail (exit 1) when
-  ``evals_per_sec`` drops more than ``--max-drop`` (30 % by default) below the
-  baseline::
+* **check** (default) — compare fresh benchmark JSON against the committed
+  ``benchmarks/baseline.json`` and fail (exit 1) on a regression.  Three metrics are
+  gated (each skipped when absent from the baseline, so older baselines still work):
 
-      PYTHONPATH=src python benchmarks/bench_search_throughput.py --json out.json
-      python benchmarks/perf_gate.py --current out.json
+  - ``evals_per_sec`` — serial fast-path search throughput;
+  - ``parallel_evals_per_sec`` — persistent-``WorkerPool`` search throughput;
+  - ``multiwafer_warm_hit_rate`` — warm-start hit rate of a second multi-wafer GA
+    run against a persisted store (read from the ``--multiwafer`` metrics file).
+
+  The throughput metrics fail when they drop more than ``--max-drop`` (30 % by
+  default) below the baseline value; the hit rate is machine-independent and is
+  gated with a fixed 5 % tolerance instead::
+
+      PYTHONPATH=src python benchmarks/bench_search_throughput.py --parallel 2 --json out.json
+      PYTHONPATH=src python benchmarks/bench_fig24_multiwafer_ga.py --cache store.jsonl --json /dev/null ...
+      PYTHONPATH=src python benchmarks/bench_fig24_multiwafer_ga.py --cache store.jsonl --json warm.json ...
+      python benchmarks/perf_gate.py --current out.json --multiwafer warm.json
 
 * **refresh** — re-measure on the current machine and rewrite the baseline.  The
-  committed baseline is written with ``--headroom`` (default 0.5): the gate value is
-  ``measured × (1 − headroom)``, so a CI runner up to ~2× slower than the refresh
-  machine still passes while a real regression of the search stack does not::
+  committed baseline is written with ``--headroom`` (default 0.5) on the throughput
+  metrics: the gate value is ``measured × (1 − headroom)``, so a CI runner up to ~2×
+  slower than the refresh machine still passes while a real regression of the search
+  stack does not.  The hit-rate gate gets a fixed 5 % headroom — it does not depend
+  on machine speed::
 
       PYTHONPATH=src python benchmarks/perf_gate.py --refresh
 
-The gate also fails when the benchmark itself reports a correctness problem
+The gate also fails when a benchmark reports a correctness problem
 (``best_fitness_match`` false): speed without serial-identical results is a bug, not
 a win.
 """
@@ -29,9 +41,16 @@ import argparse
 import json
 import os
 import sys
+import tempfile
 
 DEFAULT_BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)), "baseline.json")
-GATE_METRIC = "evals_per_sec"
+HIT_RATE_HEADROOM = 0.05
+#: The multi-wafer measurement run used by both --refresh and the CI workflow
+#: (keep .github/workflows/ci.yml in sync when changing this).
+MULTIWAFER_ARGS = [
+    "--wafers", "3", "--population", "6", "--generations", "6",
+    "--parallel", "2", "--skip-verify",
+]
 
 
 def load_json(path: str) -> dict:
@@ -39,26 +58,77 @@ def load_json(path: str) -> dict:
         return json.load(handle)
 
 
-def check(current_path: str, baseline_path: str, max_drop: float) -> int:
+def _gate_one(name: str, measured, gate_value, max_drop: float) -> bool:
+    floor = gate_value * (1.0 - max_drop)
+    ok = measured >= floor
+    verdict = "PASS" if ok else "FAIL"
+    print(
+        f"{verdict}: {name} {measured:,.2f} vs baseline {gate_value:,.2f} "
+        f"(floor {floor:,.2f} at max drop {max_drop:.0%})"
+    )
+    return ok
+
+
+def check(
+    current_path: str,
+    baseline_path: str,
+    max_drop: float,
+    multiwafer_path: str = None,
+) -> int:
     current = load_json(current_path)
     baseline = load_json(baseline_path)
-    gate_value = baseline[GATE_METRIC]
-    measured = current[GATE_METRIC]
-    floor = gate_value * (1.0 - max_drop)
+    failed = False
 
     if current.get("best_fitness_match") is False:
         print("FAIL: benchmark reports best_fitness mismatch (cached != uncached)")
         return 1
 
-    verdict = "PASS" if measured >= floor else "FAIL"
-    print(
-        f"{verdict}: {GATE_METRIC} {measured:,.0f} vs baseline {gate_value:,.0f} "
-        f"(floor {floor:,.0f} at max drop {max_drop:.0%})"
+    failed |= not _gate_one(
+        "evals_per_sec", current["evals_per_sec"], baseline["evals_per_sec"], max_drop
     )
+    if "parallel_evals_per_sec" in baseline:
+        if "parallel_evals_per_sec" not in current:
+            print("FAIL: baseline gates parallel_evals_per_sec but the metrics file "
+                  "has none (run bench_search_throughput.py with --parallel)")
+            failed = True
+        else:
+            failed |= not _gate_one(
+                "parallel_evals_per_sec",
+                current["parallel_evals_per_sec"],
+                baseline["parallel_evals_per_sec"],
+                max_drop,
+            )
+    if "multiwafer_warm_hit_rate" in baseline:
+        if multiwafer_path is None:
+            print("FAIL: baseline gates multiwafer_warm_hit_rate but no --multiwafer "
+                  "metrics file was given")
+            failed = True
+        else:
+            multiwafer = load_json(multiwafer_path)
+            if multiwafer.get("best_fitness_match") is False:
+                print("FAIL: multi-wafer benchmark reports best_fitness mismatch")
+                return 1
+            if not multiwafer.get("warm_start"):
+                print("FAIL: multi-wafer metrics come from a cold run (warm_start "
+                      "false) — run the benchmark twice against one --cache store")
+                failed = True
+            else:
+                # The hit rate is machine-independent, so it gets only its own small
+                # tolerance, never the machine-speed --max-drop allowance.
+                failed |= not _gate_one(
+                    "multiwafer_warm_hit_rate",
+                    multiwafer["cache_hit_rate"],
+                    baseline["multiwafer_warm_hit_rate"],
+                    HIT_RATE_HEADROOM,
+                )
+
     if "speedup" in current:
         print(f"      cache speedup {current['speedup']:.1f}x, "
               f"hit rate {current.get('cache_hit_rate', 0.0):.1%}")
-    if verdict == "FAIL":
+    if "pool_speedup" in current:
+        print(f"      persistent pool vs ephemeral pools {current['pool_speedup']:.1f}x, "
+              f"{current.get('cache_shipped_entries', 0)} entries delta-shipped")
+    if failed:
         print("      refresh the baseline with: "
               "PYTHONPATH=src python benchmarks/perf_gate.py --refresh")
         return 1
@@ -67,31 +137,51 @@ def check(current_path: str, baseline_path: str, max_drop: float) -> int:
 
 def refresh(out_path: str, headroom: float, population: int, generations: int) -> int:
     sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
-    import tempfile
 
+    from bench_fig24_multiwafer_ga import main as multiwafer_main
     from bench_search_throughput import main as bench_main
 
-    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
-        tmp = handle.name
+    tmpdir = tempfile.mkdtemp(prefix="perf-gate-")
+    search_json = os.path.join(tmpdir, "search.json")
+    warm_json = os.path.join(tmpdir, "multiwafer.json")
+    store = os.path.join(tmpdir, "multiwafer.jsonl")
     try:
         status = bench_main(
-            ["--json", tmp, "--population", str(population),
-             "--generations", str(generations)]
+            ["--json", search_json, "--population", str(population),
+             "--generations", str(generations), "--parallel", "2"]
         )
+        if status == 0:
+            # Cold run populates the store, warm run measures the hit rate.
+            status = multiwafer_main(
+                [*MULTIWAFER_ARGS, "--cache", store, "--json", os.devnull]
+            ) or multiwafer_main(
+                [*MULTIWAFER_ARGS, "--cache", store, "--json", warm_json]
+            )
         if status != 0:
             print("FAIL: benchmark run failed; baseline not refreshed")
             return status
-        measured = load_json(tmp)
+        measured = load_json(search_json)
+        warm = load_json(warm_json)
     finally:
-        os.unlink(tmp)
+        for path in (search_json, warm_json, store):
+            if os.path.exists(path):
+                os.unlink(path)
+        os.rmdir(tmpdir)
 
     baseline = {
-        GATE_METRIC: measured[GATE_METRIC] * (1.0 - headroom),
-        "measured_evals_per_sec": measured[GATE_METRIC],
+        "evals_per_sec": measured["evals_per_sec"] * (1.0 - headroom),
+        "parallel_evals_per_sec": measured["parallel_evals_per_sec"] * (1.0 - headroom),
+        "multiwafer_warm_hit_rate": warm["cache_hit_rate"] * (1.0 - HIT_RATE_HEADROOM),
+        "measured_evals_per_sec": measured["evals_per_sec"],
+        "measured_parallel_evals_per_sec": measured["parallel_evals_per_sec"],
+        "measured_multiwafer_warm_hit_rate": warm["cache_hit_rate"],
         "headroom": headroom,
+        "hit_rate_headroom": HIT_RATE_HEADROOM,
         "population": measured["population"],
         "generations": measured["generations"],
+        "parallel_workers": measured.get("parallel_workers"),
         "speedup_at_refresh": measured.get("speedup"),
+        "pool_speedup_at_refresh": measured.get("pool_speedup"),
         "cache_hit_rate_at_refresh": measured.get("cache_hit_rate"),
         "refresh_command": "PYTHONPATH=src python benchmarks/perf_gate.py --refresh",
     }
@@ -99,8 +189,9 @@ def refresh(out_path: str, headroom: float, population: int, generations: int) -
         json.dump(baseline, handle, indent=2)
         handle.write("\n")
     print(
-        f"baseline refreshed: gate {baseline[GATE_METRIC]:,.0f} {GATE_METRIC} "
-        f"({measured[GATE_METRIC]:,.0f} measured, {headroom:.0%} headroom) -> {out_path}"
+        f"baseline refreshed: evals_per_sec gate {baseline['evals_per_sec']:,.0f}, "
+        f"parallel gate {baseline['parallel_evals_per_sec']:,.0f}, "
+        f"warm hit-rate gate {baseline['multiwafer_warm_hit_rate']:.3f} -> {out_path}"
     )
     return 0
 
@@ -109,6 +200,8 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--current", metavar="JSON",
                         help="metrics from bench_search_throughput.py --json")
+    parser.add_argument("--multiwafer", metavar="JSON", default=None,
+                        help="metrics from a warm bench_fig24_multiwafer_ga.py run")
     parser.add_argument("--baseline", metavar="JSON", default=DEFAULT_BASELINE,
                         help="committed baseline (default: benchmarks/baseline.json)")
     parser.add_argument("--max-drop", type=float, default=0.30,
@@ -116,7 +209,7 @@ def main(argv=None) -> int:
     parser.add_argument("--refresh", action="store_true",
                         help="re-measure and rewrite the baseline instead of checking")
     parser.add_argument("--headroom", type=float, default=0.5,
-                        help="refresh: fraction shaved off the measured value")
+                        help="refresh: fraction shaved off the measured throughputs")
     parser.add_argument("--population", type=int, default=16,
                         help="refresh: GA population for the measurement run")
     parser.add_argument("--generations", type=int, default=30,
@@ -127,7 +220,7 @@ def main(argv=None) -> int:
         return refresh(args.baseline, args.headroom, args.population, args.generations)
     if not args.current:
         parser.error("--current is required unless --refresh is given")
-    return check(args.current, args.baseline, args.max_drop)
+    return check(args.current, args.baseline, args.max_drop, args.multiwafer)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Compact a persistent evaluation-cache store (JSONL or sqlite).
+
+JSONL stores grow append-only: every re-priced or re-flushed key adds a row, and only
+the last row per key wins on load.  Week-long sweeps therefore accumulate dead rows
+that slow every warm start.  This tool folds the history into exactly one row per
+surviving key (``EvaluationCache.compact``, built on ``CacheStore.replace_all``), and
+``--max-entries`` is the size-based eviction knob for stores that have outgrown their
+usefulness — the newest entries win, oldest first out::
+
+    PYTHONPATH=src python scripts/compact_cache.py sweep.jsonl
+    PYTHONPATH=src python scripts/compact_cache.py sweep.jsonl --max-entries 50000
+
+Exit status 0 on success (the report shows rows before/after), 1 when the store
+cannot be opened.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.core.evalcache import EvaluationCache, open_store  # noqa: E402
+
+
+def count_jsonl_rows(path: str) -> int:
+    """Physical data rows of a JSONL store (header excluded); -1 when not JSONL."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return max(0, sum(1 for line in handle if line.strip()) - 1)
+    except (OSError, UnicodeDecodeError):
+        return -1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("store", help="path of the cache store (.jsonl, .sqlite, .db)")
+    parser.add_argument(
+        "--max-entries", type=int, default=None,
+        help="also evict down to this many entries (newest kept)",
+    )
+    parser.add_argument(
+        "--namespace", default=None,
+        help="override the fingerprint namespace (default: current schema version)",
+    )
+    args = parser.parse_args(argv)
+
+    if not os.path.exists(args.store):
+        print(f"no store at {args.store}", file=sys.stderr)
+        return 1
+
+    rows_before = count_jsonl_rows(args.store)
+    store = open_store(args.store, namespace=args.namespace)
+    cache = EvaluationCache(max_entries=None, store=store)
+    loaded = cache.stats.loaded
+    kept = cache.compact(max_entries=args.max_entries)
+    cache.close()
+
+    before = f"{rows_before} rows" if rows_before >= 0 else "sqlite"
+    dropped = loaded - kept
+    print(
+        f"compacted {args.store}: {before} / {loaded} live entries -> {kept} entries"
+        + (f" ({dropped} evicted)" if dropped > 0 else "")
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,7 +7,7 @@ The paper normalises every figure to its lowest-performing configuration (value 
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Sequence
 
 from repro.core.evaluator import EvaluationResult
 from repro.core.plan import StagePlacement

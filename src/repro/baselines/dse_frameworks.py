@@ -24,13 +24,12 @@ WSC-LLM    area-aware wafer DSE for inference: good placement, no recomputation-
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.core.central_scheduler import CentralScheduler
 from repro.core.evaluator import EvaluationResult, Evaluator
 from repro.core.placement import PlacementOptimizer, serpentine_placement
 from repro.core.plan import RecomputeConfig, TrainingPlan
-from repro.core.recomputation import GcmrScheduler
 from repro.hardware.template import WaferConfig
 from repro.interconnect.collectives import CollectiveAlgorithm
 from repro.interconnect.topology import MeshTopology

@@ -9,8 +9,7 @@ the wafer by wrapping the GPU in a synthetic :class:`DieConfig`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.core.evaluator import EvaluationResult
 from repro.hardware.configs import GpuSystemConfig, dgx_b300_node

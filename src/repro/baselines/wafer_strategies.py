@@ -11,7 +11,7 @@ shape — exactly the procedure §V-C describes.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 from repro.core.evaluator import EvaluationResult, Evaluator
 from repro.core.plan import RecomputeConfig, TrainingPlan

@@ -10,11 +10,12 @@ DRAM allocation), evaluates every surviving plan and keeps the best.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 from repro.core.dram_allocation import DramAllocator
 from repro.core.evalcache import EvaluationCache
 from repro.core.evaluator import EvaluationResult, Evaluator
+from repro.core.parallel_map import WorkerPool
 from repro.core.placement import PlacementOptimizer, serpentine_placement
 from repro.core.plan import RecomputeConfig, TrainingPlan
 from repro.core.recomputation import GcmrScheduler
@@ -158,13 +159,14 @@ class CentralScheduler:
         self,
         workload: TrainingWorkload,
         model_parallel_dies: Optional[int] = None,
-        parallel: Optional[int] = None,
+        parallel: Union[int, WorkerPool, None] = None,
     ) -> List[ExplorationRecord]:
         """Evaluate every surviving (TP, PP, split-strategy) candidate.
 
-        ``parallel`` prices the surviving candidates on a process pool of that many
-        workers (negative = all CPUs); candidate construction and result order are
-        unchanged, so the records match the serial run exactly.
+        ``parallel`` prices the surviving candidates on a worker pool — a persistent
+        :class:`WorkerPool` or an integer for an ephemeral one (negative = all CPUs);
+        candidate construction and result order are unchanged, so the records match
+        the serial run exactly.
         """
         mp = model_parallel_dies or self.wafer.num_dies
         if mp > self.wafer.num_dies:
@@ -189,7 +191,7 @@ class CentralScheduler:
         self,
         workload: TrainingWorkload,
         model_parallel_dies: Optional[int] = None,
-        parallel: Optional[int] = None,
+        parallel: Union[int, WorkerPool, None] = None,
     ) -> Optional[ExplorationRecord]:
         """The highest-throughput record, or ``None`` when everything was pruned."""
         records = [

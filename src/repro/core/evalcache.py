@@ -30,11 +30,18 @@ Corrupt rows or a truncated store degrade to a cold start, never an error.
 **Scale-out.**  Worker processes evaluate against a private cache seeded from the
 parent's entries (:meth:`seed`), and the parent merges each worker's freshly priced
 entries back (:meth:`delta` / :meth:`absorb`), so one shared store serves a whole
-multi-wafer or wafer×workload fan-out.
+multi-wafer or wafer×workload fan-out.  For *long-lived* workers (the persistent
+:class:`~repro.core.parallel_map.WorkerPool`), entries carry monotonic sequence
+numbers so both directions of that flow are delta-only: :meth:`export_since` ships
+only entries priced after a per-worker watermark, and :meth:`take_carry` ships only
+work done since the previous carry.  Very large warm stores can skip snapshot
+shipping entirely with ``read_through=True`` on a sqlite store: entries are fetched
+from the store file on demand instead of being loaded (or pickled) up front.
 """
 
 from __future__ import annotations
 
+import bisect
 import enum
 import hashlib
 import importlib
@@ -44,7 +51,7 @@ import sqlite3
 import tempfile
 from collections import OrderedDict
 from dataclasses import fields, is_dataclass
-from typing import Any, Dict, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
@@ -229,6 +236,9 @@ class CacheStore:
 
     #: Rows skipped during the most recent :meth:`load` (corruption / stale classes).
     load_errors: int = 0
+    #: Whether :meth:`get` answers single-key lookups without a full :meth:`load`
+    #: (required for the read-through mode of :class:`EvaluationCache`).
+    supports_point_lookup: bool = False
 
     def __init__(self, path: str, namespace: Optional[str] = None) -> None:
         self.path = str(path)
@@ -237,6 +247,17 @@ class CacheStore:
     def load(self) -> Dict[str, Any]:
         """All valid entries, or ``{}`` for a missing/corrupt/foreign-namespace store."""
         raise NotImplementedError
+
+    def get(self, key: str) -> Optional[Any]:
+        """Point lookup of one entry, or ``None`` (unsupported, missing or corrupt)."""
+        return None
+
+    def prepare(self) -> None:
+        """Validate/repair the on-disk namespace without loading every entry.
+
+        Read-through caches call this instead of :meth:`load`; the default is a no-op
+        because stores without point lookups are always fully loaded anyway.
+        """
 
     def append(self, entries: Mapping[str, Any]) -> None:
         """Persist new entries (later appends with the same key win on load)."""
@@ -306,7 +327,11 @@ class JsonlCacheStore(CacheStore):
                         continue
                     try:
                         row = json.loads(line)
-                        entries[str(row["k"])] = decode_value(row["v"])
+                        key, value = str(row["k"]), decode_value(row["v"])
+                        # Later duplicates win in *position* too: a re-appended key
+                        # must rank as newest for compact(max_entries=) eviction.
+                        entries.pop(key, None)
+                        entries[key] = value
                     except (ValueError, KeyError, TypeError, AttributeError, ImportError):
                         self.load_errors += 1
         except OSError:
@@ -358,6 +383,8 @@ class JsonlCacheStore(CacheStore):
 
 class SqliteCacheStore(CacheStore):
     """Sqlite spill for large sweeps: keyed upserts, no whole-file rewrite on append."""
+
+    supports_point_lookup = True
 
     def __init__(self, path: str, namespace: Optional[str] = None) -> None:
         super().__init__(path, namespace)
@@ -419,6 +446,38 @@ class SqliteCacheStore(CacheStore):
                 self.load_errors += 1
         return entries
 
+    def prepare(self) -> None:
+        """Namespace validation for read-through use: repair, never a full row scan."""
+        if not os.path.exists(self.path):
+            return
+        try:
+            conn = self._connect()
+            stored = self._stored_namespace(conn)
+            if stored is not None and stored != self.namespace:
+                conn.execute("DELETE FROM entries")
+                conn.execute(
+                    "INSERT OR REPLACE INTO meta VALUES ('namespace', ?)", (self.namespace,)
+                )
+                conn.commit()
+        except sqlite3.DatabaseError:
+            self._reset()
+
+    def get(self, key: str) -> Optional[Any]:
+        try:
+            conn = self._connect()
+            row = conn.execute(
+                "SELECT value FROM entries WHERE key = ?", (str(key),)
+            ).fetchone()
+        except sqlite3.DatabaseError:
+            return None
+        if row is None:
+            return None
+        try:
+            return decode_value(json.loads(row[0]))
+        except (ValueError, KeyError, TypeError, AttributeError, ImportError):
+            self.load_errors += 1
+            return None
+
     def append(self, entries: Mapping[str, Any]) -> None:
         if not entries:
             return
@@ -468,7 +527,10 @@ def open_store(path: str, namespace: Optional[str] = None) -> CacheStore:
 class CacheStats:
     """Mutable hit/miss accounting shared by cache users."""
 
-    __slots__ = ("hits", "misses", "evictions", "loaded", "flushed")
+    __slots__ = ("hits", "misses", "evictions", "loaded", "flushed", "shipped", "store_hits")
+
+    #: Counter fields folded by :meth:`add_counts` and shipped in worker carries.
+    COUNT_FIELDS = ("hits", "misses", "evictions", "loaded", "flushed", "shipped", "store_hits")
 
     def __init__(self) -> None:
         self.hits = 0
@@ -478,6 +540,11 @@ class CacheStats:
         self.loaded = 0
         #: Entries written back to the persistent store.
         self.flushed = 0
+        #: Entries shipped to pool workers via watermarked incremental export —
+        #: the delta-sync replacement for pickling a full snapshot per fan-out.
+        self.shipped = 0
+        #: Lookups answered by the read-through store instead of resident memory.
+        self.store_hits = 0
 
     @property
     def lookups(self) -> int:
@@ -489,18 +556,13 @@ class CacheStats:
 
     def add_counts(self, counts: Mapping[str, float]) -> None:
         """Fold a worker's exported counters into this one (hit_rate is derived)."""
-        for name in ("hits", "misses", "evictions", "loaded", "flushed"):
+        for name in self.COUNT_FIELDS:
             setattr(self, name, getattr(self, name) + int(counts.get(name, 0)))
 
     def as_dict(self) -> Dict[str, float]:
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "loaded": self.loaded,
-            "flushed": self.flushed,
-            "hit_rate": self.hit_rate,
-        }
+        counts: Dict[str, float] = {name: getattr(self, name) for name in self.COUNT_FIELDS}
+        counts["hit_rate"] = self.hit_rate
+        return counts
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -520,6 +582,12 @@ class EvaluationCache:
     :func:`open_store`), construction warm-starts from disk and :meth:`flush` spills
     every entry priced since the last flush — including entries the LRU has since
     evicted, so disk coverage can exceed the in-memory bound.
+
+    ``read_through=True`` on a store with point lookups (sqlite) skips the up-front
+    load entirely: misses fall through to the store file, and entries adopted that
+    way stay out of :meth:`delta`/:meth:`export_since` (every process sharing the
+    store can fetch them itself).  Stores without point lookups (JSONL) degrade to
+    the ordinary full warm start.
     """
 
     def __init__(
@@ -527,6 +595,7 @@ class EvaluationCache:
         max_entries: Optional[int] = 65536,
         store: Optional[object] = None,
         namespace: Optional[str] = None,
+        read_through: bool = False,
     ) -> None:
         if max_entries is not None and max_entries < 0:
             raise ValueError("max_entries cannot be negative")
@@ -537,13 +606,31 @@ class EvaluationCache:
         self._seeded: set = set()
         #: Entries priced since the last :meth:`flush` (survives LRU eviction).
         self._dirty: Dict[str, Any] = {}
+        #: Monotonic pricing sequence: every entry adopted via :meth:`put`/:meth:`seed`
+        #: gets the next number, so :meth:`export_since` can ship watermark deltas.
+        self._seq = 0
+        self._entry_seq: Dict[str, int] = {}
+        self._log_seqs: List[int] = []
+        self._log_keys: List[str] = []
+        #: Counter snapshot at the previous :meth:`take_carry` (incremental carries).
+        self._carry_counts: Dict[str, float] = {}
+        #: Keys priced since the previous :meth:`take_carry` — a key set, not a
+        #: value dict, so long-lived worker shards carry in O(delta) without this
+        #: cache pinning evicted values; :meth:`flush` prunes spilled keys so the
+        #: set stays bounded on store-backed parents that never carry.
+        self._unshipped: set = set()
+        self.read_through = False
         self.store: Optional[CacheStore] = (
             open_store(store, namespace) if isinstance(store, (str, os.PathLike)) else store
         )
         if self.store is not None:
-            loaded = self.store.load()
-            self.seed(loaded)
-            self.stats.loaded = len(loaded)
+            if read_through and self.store.supports_point_lookup:
+                self.read_through = True
+                self.store.prepare()
+            else:
+                loaded = self.store.load()
+                self.seed(loaded)
+                self.stats.loaded = len(loaded)
 
     # ------------------------------------------------------------------ dict protocol
     def __len__(self) -> int:
@@ -554,14 +641,26 @@ class EvaluationCache:
 
     # ------------------------------------------------------------------ access
     def get(self, key: str) -> Optional[Any]:
-        """Return the cached result for ``key``, counting a hit or miss."""
+        """Return the cached result for ``key``, counting a hit or miss.
+
+        In read-through mode a memory miss falls through to the attached store; an
+        entry found there is adopted as seeded (it is the store's, not this cache's
+        pricing) and counted as both a hit and a :attr:`CacheStats.store_hits`.
+        """
         entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return entry
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry
+        if self.read_through and self.store is not None:
+            entry = self.store.get(key)
+            if entry is not None:
+                self._adopt_from_store(key, entry)
+                self.stats.hits += 1
+                self.stats.store_hits += 1
+                return entry
+        self.stats.misses += 1
+        return None
 
     def peek(self, key: str) -> Optional[Any]:
         """Like :meth:`get` but without touching the counters or LRU order."""
@@ -571,27 +670,57 @@ class EvaluationCache:
         self._entries[key] = value
         self._entries.move_to_end(key)
         self._dirty[key] = value
+        self._unshipped.add(key)
+        self._assign_seq(key)
         if self.max_entries is not None and len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+            evicted, _ = self._entries.popitem(last=False)
+            self._entry_seq.pop(evicted, None)
             self.stats.evictions += 1
 
     def get_or_compute(self, key: str, compute) -> Any:
         """Return the cached value for ``key``, computing and storing it on a miss."""
-        entry = self._entries.get(key)
+        entry = self.get(key)
         if entry is not None:
-            self._entries.move_to_end(key)
-            self.stats.hits += 1
             return entry
-        self.stats.misses += 1
         value = compute()
         self.put(key, value)
         return value
 
     def clear(self) -> None:
-        """Drop all entries (the counters survive so long-run stats stay meaningful)."""
+        """Drop all entries (the counters survive so long-run stats stay meaningful).
+
+        The pricing sequence is *not* reset: it must stay monotonic so watermarks
+        held by long-lived pool workers never see it regress.
+        """
         self._entries.clear()
         self._dirty.clear()
         self._seeded.clear()
+        self._unshipped.clear()
+        self._entry_seq.clear()
+        self._log_seqs.clear()
+        self._log_keys.clear()
+
+    # ------------------------------------------------------------------ sequence log
+    def _assign_seq(self, key: str) -> None:
+        self._seq += 1
+        self._entry_seq[key] = self._seq
+        self._log_seqs.append(self._seq)
+        self._log_keys.append(key)
+        # Re-priced keys leave dead rows behind; rebuild once they dominate the log.
+        if len(self._log_seqs) > 1024 and len(self._log_seqs) > 4 * len(self._entry_seq):
+            live = sorted((seq, key) for key, seq in self._entry_seq.items())
+            self._log_seqs = [seq for seq, _ in live]
+            self._log_keys = [key for _, key in live]
+
+    def _adopt_from_store(self, key: str, value: Any) -> None:
+        """Adopt a read-through entry: resident and seeded, but never exported."""
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        self._seeded.add(key)
+        if self.max_entries is not None and len(self._entries) > self.max_entries:
+            evicted, _ = self._entries.popitem(last=False)
+            self._entry_seq.pop(evicted, None)
+            self.stats.evictions += 1
 
     # ------------------------------------------------------------------ scale-out
     def __getstate__(self):
@@ -603,6 +732,7 @@ class EvaluationCache:
         """
         state = self.__dict__.copy()
         state["store"] = None
+        state["read_through"] = False
         return state
 
     def seed(self, entries: Mapping[str, Any]) -> int:
@@ -618,17 +748,45 @@ class EvaluationCache:
         for key, value in entries.items():
             if key not in self._entries:
                 self._entries[key] = value
+                self._assign_seq(key)
                 adopted += 1
             self._seeded.add(key)
         if self.max_entries is not None:
             while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
+                evicted, _ = self._entries.popitem(last=False)
+                self._entry_seq.pop(evicted, None)
                 self.stats.evictions += 1
         return adopted
 
     def export(self) -> Dict[str, Any]:
         """A plain-dict snapshot of the current entries (for seeding workers)."""
         return dict(self._entries)
+
+    @property
+    def sync_seq(self) -> int:
+        """The current pricing sequence number — the watermark of a fresh export."""
+        return self._seq
+
+    def export_since(self, watermark: int) -> Tuple[Dict[str, Any], int]:
+        """Resident entries adopted after ``watermark`` plus the new watermark.
+
+        This is the parent→worker half of the delta-only sync: a pool tracks one
+        watermark per worker and ships ``export_since(previous)`` instead of a full
+        :meth:`export` snapshot.  Monotonically advancing watermarks partition the
+        entry stream — nothing is shipped twice, nothing is missed.  Entries the LRU
+        has already evicted are skipped (the store, not the workers, keeps history),
+        and read-through adoptions never appear (workers read the same store file).
+        """
+        if watermark >= self._seq:
+            return {}, self._seq
+        entries: Dict[str, Any] = {}
+        start = bisect.bisect_right(self._log_seqs, watermark)
+        for index in range(start, len(self._log_seqs)):
+            key = self._log_keys[index]
+            # Skip superseded log rows and evicted entries.
+            if self._entry_seq.get(key) == self._log_seqs[index] and key in self._entries:
+                entries[key] = self._entries[key]
+        return entries, self._seq
 
     def delta(self) -> Dict[str, Any]:
         """Entries priced by *this* cache instance: everything not seeded into it."""
@@ -653,6 +811,35 @@ class EvaluationCache:
         """What a worker ships back to the parent: its delta plus a counter snapshot."""
         return {"delta": self.delta(), "stats": self.stats.as_dict()}
 
+    def take_carry(self) -> Dict[str, Any]:
+        """The worker→parent half of the delta-only sync, for *long-lived* shards.
+
+        Unlike :meth:`carry` (built for throwaway per-task caches), the shipped
+        entries are marked as adopted afterwards and the counters are shipped as
+        increments over the previous call, so a resident shard that survives many
+        submissions never re-ships work or double-counts stats.  The delta comes
+        from the side dict :meth:`put` maintains, so the cost is O(entries priced
+        since the last carry), not O(cache) — per-submission carry cost must not
+        grow with the life of the shard.
+        """
+        delta: Dict[str, Any] = {}
+        for key in self._unshipped:
+            if key in self._seeded:
+                continue
+            value = self._entries.get(key)
+            if value is None:
+                value = self._dirty.get(key)  # priced here but already LRU-evicted
+            if value is not None:
+                delta[key] = value
+        self._unshipped.clear()
+        counts = {name: getattr(self.stats, name) for name in CacheStats.COUNT_FIELDS}
+        increment = {
+            name: value - self._carry_counts.get(name, 0) for name, value in counts.items()
+        }
+        self._carry_counts = counts
+        self._seeded.update(delta)
+        return {"delta": delta, "stats": increment}
+
     def absorb_carry(self, carry: Optional[Mapping[str, Any]]) -> None:
         """Fold a worker's :meth:`carry` into this cache (entries and counters)."""
         if carry is None:
@@ -669,8 +856,38 @@ class EvaluationCache:
         written = len(self._dirty)
         self.stats.flushed += written
         self._seeded.update(self._dirty)
+        # Spilled keys can never be carried again (seeded); dropping them here
+        # keeps the unshipped set bounded on parents that flush but never carry.
+        self._unshipped.difference_update(self._dirty)
         self._dirty.clear()
         return written
+
+    def compact(self, max_entries: Optional[int] = None) -> int:
+        """Rewrite the attached store to exactly one row per surviving key.
+
+        JSONL stores grow append-only — a re-priced or re-flushed key adds a row and
+        only the *last* one wins on load — so week-long sweeps accumulate dead rows.
+        Compaction folds that history through :meth:`CacheStore.replace_all` (later
+        duplicates win, same rule as load).  In-memory entries are flushed first so
+        freshly priced results are never lost, and they are re-appended last so the
+        resident working set counts as newest.
+
+        ``max_entries`` is the size-based eviction knob: keep only the newest that
+        many entries, oldest first out (append order for JSONL; load order for
+        sqlite).  Returns the number of entries the store holds afterwards.
+        """
+        if self.store is None:
+            return 0
+        self.flush()
+        entries = self.store.load()
+        for key, value in self._entries.items():
+            entries.pop(key, None)  # re-append so resident entries rank newest
+            entries[key] = value
+        if max_entries is not None and max_entries > 0 and len(entries) > max_entries:
+            for key in list(entries)[: len(entries) - max_entries]:
+                del entries[key]
+        self.store.replace_all(entries)
+        return len(entries)
 
     def close(self) -> None:
         """Flush and release the attached store (no-op without one)."""

@@ -10,13 +10,13 @@ refines it.  The result object carries the best architecture, the mapping scheme
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.central_scheduler import CentralScheduler, ExplorationRecord
 from repro.core.evalcache import EvaluationCache
 from repro.core.evaluator import EvaluationResult, Evaluator
 from repro.core.genetic import GAConfig, GeneticOptimizer
-from repro.core.parallel_map import parallel_map_merge, resolve_workers
+from repro.core.parallel_map import WorkerPool, parallel_map_merge, task_cache
 from repro.core.plan import TrainingPlan
 from repro.hardware.enumerator import ArchitectureEnumerator
 from repro.hardware.template import WaferConfig
@@ -82,19 +82,53 @@ class WatosResult:
 class _ExplorePointTask:
     """Picklable task pricing one (wafer, workload) point of the co-exploration.
 
-    Each call prices against a private cache seeded from the shared one (the pickled
-    snapshot travels to the worker) and ships freshly priced entries back as the carry,
-    so the parent can merge per-worker deltas into the shared store.  The search
-    trajectory is a pure function of the point, never of the cache contents, which is
-    what keeps the parallel fan-out bit-identical to the serial loop.
+    Carries only the exploration hyper-parameters — never the shared cache.  The
+    cache to price against comes from :func:`task_cache`: the parent's shared cache
+    on the serial path (zero copies), the worker's resident shard inside a
+    :class:`WorkerPool` (kept coherent by watermarked deltas).  The search trajectory
+    is a pure function of the point, never of the cache contents, which is what keeps
+    the parallel fan-out bit-identical to the serial loop.
     """
 
     def __init__(self, watos: "Watos") -> None:
-        self.watos = watos
+        self.use_ga = watos.use_ga
+        self.ga_config = watos.ga_config
+        self.collective = watos.collective
+        self.split_strategies = watos.split_strategies
+        self.max_tp = watos.max_tp
 
     def __call__(self, point: Tuple[WaferConfig, TrainingWorkload]):
         wafer, workload = point
-        return self.watos._explore_point(wafer, workload)
+        cache = task_cache()
+        evaluator = Evaluator(wafer, cache=cache) if cache is not None else Evaluator(wafer)
+        scheduler = CentralScheduler(
+            wafer,
+            evaluator=evaluator,
+            collective=self.collective,
+            split_strategies=self.split_strategies,
+            max_tp=self.max_tp,
+        )
+        records = scheduler.explore(workload)
+        outcome: Optional[WorkloadOutcome] = None
+        feasible = [r for r in records if not r.result.oom]
+        if feasible:
+            best = max(feasible, key=lambda r: r.result.throughput)
+            plan, best_result = best.plan, best.result
+            ga_history: Tuple[float, ...] = ()
+            if self.use_ga:
+                optimizer = GeneticOptimizer(evaluator, workload, self.ga_config)
+                ga_outcome = optimizer.optimize(plan)
+                if ga_outcome.best_result.throughput >= best_result.throughput:
+                    plan, best_result = ga_outcome.best_plan, ga_outcome.best_result
+                ga_history = ga_outcome.history
+            outcome = WorkloadOutcome(
+                wafer=wafer,
+                workload=workload,
+                plan=plan,
+                result=best_result,
+                ga_history=ga_history,
+            )
+        return records, outcome
 
 
 class Watos:
@@ -156,70 +190,25 @@ class Watos:
         )
 
     # ------------------------------------------------------------------ full DSE
-    def _explore_point(self, wafer: WaferConfig, workload: TrainingWorkload):
-        """Price one (wafer, workload) point against a private cache; return the carry.
-
-        Runs identically in-process (serial path) and in a worker: the private cache
-        only changes *what is recomputed*, never the outcome, and the GA always starts
-        from the same ``ga_config`` seed for a given point.
-        """
-        child = EvaluationCache(max_entries=None)
-        child.seed(self.cache.export())
-        evaluator = Evaluator(wafer, cache=child)
-        scheduler = CentralScheduler(
-            wafer,
-            evaluator=evaluator,
-            collective=self.collective,
-            split_strategies=self.split_strategies,
-            max_tp=self.max_tp,
-        )
-        records = scheduler.explore(workload)
-        outcome: Optional[WorkloadOutcome] = None
-        feasible = [r for r in records if not r.result.oom]
-        if feasible:
-            best = max(feasible, key=lambda r: r.result.throughput)
-            plan, best_result = best.plan, best.result
-            ga_history: Tuple[float, ...] = ()
-            if self.use_ga:
-                optimizer = GeneticOptimizer(evaluator, workload, self.ga_config)
-                ga_outcome = optimizer.optimize(plan)
-                if ga_outcome.best_result.throughput >= best_result.throughput:
-                    plan, best_result = ga_outcome.best_plan, ga_outcome.best_result
-                ga_history = ga_outcome.history
-            outcome = WorkloadOutcome(
-                wafer=wafer,
-                workload=workload,
-                plan=plan,
-                result=best_result,
-                ga_history=ga_history,
-            )
-        return (records, outcome), child.carry()
-
     def explore(
         self,
         workloads: Sequence[TrainingWorkload],
-        parallel: Optional[int] = None,
+        parallel: Union[int, WorkerPool, None] = None,
     ) -> WatosResult:
         """Run the co-exploration over every candidate wafer and every workload.
 
-        ``parallel`` fans the (wafer × workload) points out over a process pool of that
-        many workers (negative = all CPUs).  Every point prices against a private cache
-        seeded from :attr:`cache`; per-worker deltas are merged back in point order and
-        flushed to the shared cache's store when one is attached, so the result *and*
-        the cache end state are identical to the serial run.
+        ``parallel`` fans the (wafer × workload) points out over a worker pool: pass a
+        persistent :class:`WorkerPool` to share its resident cache shards with other
+        sweeps, or an integer for an ephemeral pool (negative = all CPUs).  Worker
+        deltas are merged back in worker order and flushed to the shared cache's store
+        when one is attached, so the result *and* the cache end state are identical to
+        the serial run — which prices directly against :attr:`cache`, copying nothing.
         """
         points = [
             (wafer, workload) for wafer in self.candidates for workload in workloads
         ]
-        chunksize = 1
-        if parallel is not None and parallel not in (0, 1):
-            chunksize = max(1, -(-len(points) // resolve_workers(parallel)))
         priced = parallel_map_merge(
-            _ExplorePointTask(self),
-            points,
-            parallel=parallel,
-            chunksize=chunksize,
-            merge=self.cache.absorb_carry,
+            _ExplorePointTask(self), points, parallel=parallel, cache=self.cache
         )
         self.cache.flush()
 

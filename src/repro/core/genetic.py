@@ -22,9 +22,10 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, replace
 from operator import itemgetter
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.core.evaluator import EvaluationResult, Evaluator
+from repro.core.parallel_map import WorkerPool
 from repro.core.placement import global_cost
 from repro.core.plan import MemPair, RecomputeConfig, TrainingPlan
 from repro.workloads.workload import TrainingWorkload
@@ -111,7 +112,7 @@ class GeneticOptimizer:
         return result.iteration_time * (1.0 + cost / (10.0 * normaliser))
 
     def _score_population(
-        self, population: Sequence[TrainingPlan], parallel: Optional[int]
+        self, population: Sequence[TrainingPlan], parallel: Union[int, WorkerPool, None]
     ) -> List[Tuple[float, EvaluationResult]]:
         """Price every individual, in population order.
 
@@ -233,12 +234,16 @@ class GeneticOptimizer:
         return survivors
 
     # ------------------------------------------------------------------ main loop
-    def optimize(self, seed_plan: TrainingPlan, parallel: Optional[int] = None) -> GAResult:
+    def optimize(
+        self, seed_plan: TrainingPlan, parallel: Union[int, WorkerPool, None] = None
+    ) -> GAResult:
         """Run the GA starting from (and always retaining) the seed plan.
 
-        ``parallel`` prices each generation's unique individuals on a process pool of
-        that many workers (negative = all CPUs); the GA trajectory — selection, best
-        plan, fitness history — is identical to the serial run for any worker count.
+        ``parallel`` prices each generation's unique individuals on a worker pool — a
+        persistent :class:`WorkerPool` (one fork for the whole run, resident cache
+        shards synced delta-only per generation) or an integer for an ephemeral pool
+        (negative = all CPUs); the GA trajectory — selection, best plan, fitness
+        history — is identical to the serial run for any worker count.
         """
         population: List[TrainingPlan] = [seed_plan]
         while len(population) < self.config.population_size:

@@ -11,12 +11,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.core.central_scheduler import CentralScheduler
 from repro.core.evalcache import EvaluationCache
 from repro.core.evaluator import Evaluator
-from repro.core.parallel_map import parallel_map_merge
+from repro.core.parallel_map import WorkerPool, parallel_map_merge, task_cache
 from repro.hardware.area import AreaModel
 from repro.hardware.template import ComputeDieConfig, CoreConfig, DieConfig, DramChipletConfig, WaferConfig
 from repro.units import tflops
@@ -120,46 +120,23 @@ class DieGranularityDse:
         )
 
     # ------------------------------------------------------------------ sweep
-    def _evaluate_point(self, point: Tuple[float, float, int]):
-        """Price one (area, aspect ratio) design point: (wafer name, throughput, memory).
-
-        Each design point re-tiles the wafer, so design points share no evaluator state
-        and parallelise perfectly across processes.  With a shared cache attached the
-        point prices against a private cache seeded from it and ships freshly priced
-        entries back as the carry half of the ``(payload, carry)`` return.
-        """
-        area, aspect, max_tp = point
-        wafer = self.build_wafer(area, aspect)
-        child: Optional[EvaluationCache] = None
-        if self.cache is not None:
-            child = EvaluationCache(max_entries=None)
-            child.seed(self.cache.export())
-        evaluator = Evaluator(wafer, cache=child) if child is not None else Evaluator(wafer)
-        scheduler = CentralScheduler(
-            wafer, evaluator=evaluator, max_tp=max_tp, optimize_placement=False
-        )
-        best = scheduler.best(self.workload)
-        throughput = best.result.throughput if best is not None else 0.0
-        payload = (wafer.name, throughput, wafer.total_dram_capacity)
-        return payload, child.carry() if child is not None else None
-
-    def _absorb(self, carry) -> None:
-        if self.cache is not None:
-            self.cache.absorb_carry(carry)
-
-    def sweep(self, max_tp: int = 8, parallel: Optional[int] = None) -> List[DieDesignPoint]:
+    def sweep(
+        self, max_tp: int = 8, parallel: Union[int, WorkerPool, None] = None
+    ) -> List[DieDesignPoint]:
         """Evaluate every (area, aspect ratio) design point and normalise the objective.
 
-        ``parallel`` distributes whole design points over a process pool of that many
-        workers (negative = all CPUs); point order and results match the serial run.
-        With :attr:`cache` attached, worker deltas are merged back in point order and
-        spilled to the cache's store (when one is attached) before returning.
+        ``parallel`` distributes whole design points over a worker pool — a persistent
+        :class:`WorkerPool` (resident cache shards stay warm across sweeps) or an
+        integer for an ephemeral one (negative = all CPUs); point order and results
+        match the serial run.  With :attr:`cache` attached, worker deltas are merged
+        back in worker order and spilled to the cache's store (when one is attached)
+        before returning; the serial path prices directly against the shared cache.
         """
         grid = [
             (area, aspect, max_tp) for area in self.areas for aspect in self.aspect_ratios
         ]
         priced = parallel_map_merge(
-            self._evaluate_point, grid, parallel=parallel, merge=self._absorb
+            _DsePointTask(self), grid, parallel=parallel, cache=self.cache
         )
         raw: List[Tuple[str, float, float, float, float]] = [
             (name, area, aspect, throughput, memory)
@@ -195,3 +172,38 @@ class DieGranularityDse:
         if not points:
             raise ValueError("no design points to compare")
         return max(points, key=lambda p: p.objective)
+
+
+class _DsePointTask:
+    """Picklable task pricing one (area, aspect ratio) design point.
+
+    Carries only the die-construction parameters — never the shared cache.  Each
+    design point re-tiles the wafer, so points share no evaluator state and
+    parallelise perfectly; the cache to price against comes from :func:`task_cache`
+    (the parent's shared cache on the serial path, the worker's resident shard in a
+    :class:`WorkerPool`), replacing the per-point full-snapshot seeding.
+    """
+
+    def __init__(self, dse: DieGranularityDse) -> None:
+        self.workload = dse.workload
+        self.dram_chiplet = dse.dram_chiplet
+        self.wafer_edge_mm = dse.wafer_edge_mm
+        self.compute_density = dse.compute_density
+
+    def __call__(self, point: Tuple[float, float, int]):
+        area, aspect, max_tp = point
+        dse = DieGranularityDse(
+            self.workload,
+            dram_chiplet=self.dram_chiplet,
+            wafer_edge_mm=self.wafer_edge_mm,
+            compute_density_tflops_per_mm2=self.compute_density,
+        )
+        wafer = dse.build_wafer(area, aspect)
+        cache = task_cache()
+        evaluator = Evaluator(wafer, cache=cache) if cache is not None else Evaluator(wafer)
+        scheduler = CentralScheduler(
+            wafer, evaluator=evaluator, max_tp=max_tp, optimize_placement=False
+        )
+        best = scheduler.best(self.workload)
+        throughput = best.result.throughput if best is not None else 0.0
+        return wafer.name, throughput, wafer.total_dram_capacity

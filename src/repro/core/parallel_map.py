@@ -1,13 +1,32 @@
-"""Process-pool mapping for the search loops (GA, central scheduler, hardware DSE).
+"""Persistent worker runtime for the search loops (GA, central scheduler, DSE, Watos).
 
-All three searchers are embarrassingly parallel across candidates: each candidate is
+All the searchers are embarrassingly parallel across candidates: each candidate is
 priced by a pure function of picklable inputs (wafer/workload/plan dataclasses).  This
-module provides one ordered ``parallel_map`` built on ``concurrent.futures`` that the
-searchers share, with the conventions that keep results identical to the serial path:
+module provides the execution runtime they share:
+
+* :class:`WorkerPool` — a **long-lived** fork pool that survives an entire search (or a
+  whole experiment matrix).  Each worker owns a private, *resident*
+  :class:`~repro.core.evalcache.EvaluationCache` shard that persists across
+  submissions.  Shards are seeded once when the pool first syncs, and thereafter kept
+  coherent **delta-only** in both directions: the parent ships entries priced since a
+  per-worker watermark (:meth:`EvaluationCache.export_since`), and workers ship back
+  only their freshly priced entries (:meth:`EvaluationCache.take_carry`).  Entries a
+  worker itself priced are never echoed back to it.  A cache with a read-through
+  sqlite store skips even the initial seed: workers attach the store file directly.
+* :func:`parallel_map` — ordered map over a pool (a :class:`WorkerPool` or an
+  ephemeral one built from an integer worker count).
+* :func:`parallel_map_merge` — the scatter/gather convention of the scale-out sweeps:
+  tasks price whole points against the cache returned by :func:`task_cache` — the
+  parent's cache *directly* on the serial path (zero copies), the worker's resident
+  shard inside a pool — and the runtime, not the task, moves cache state around.
+
+Conventions that keep results identical to the serial path:
 
 * mapping preserves input order, so selection logic downstream sees the same sequence;
 * the mapped callable must be picklable — a module-level function, a
   ``functools.partial`` over one, or an instance of a module-level class;
+* worker carries are merged in worker-index order (deterministic for any schedule,
+  and pricing is pure, so merge order can never change a value);
 * ``workers in (None, 0, 1)`` short-circuits to a plain serial loop, which keeps unit
   tests deterministic and avoids pool startup for small searches.
 
@@ -19,22 +38,43 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, List, Optional, Sequence, TypeVar
+import traceback
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar, Union
+
+from repro.core.evalcache import EvaluationCache
 
 T = TypeVar("T")
 R = TypeVar("R")
 
-__all__ = ["parallel_map", "parallel_map_merge", "resolve_workers"]
+__all__ = [
+    "WorkerPool",
+    "parallel_map",
+    "parallel_map_merge",
+    "resolve_workers",
+    "task_cache",
+]
+
+#: The evaluation cache fan-out tasks should price against right now: the worker's
+#: resident shard inside a pool worker, the parent's shared cache on the serial path
+#: of :func:`parallel_map_merge`, ``None`` outside any fan-out context.
+_ACTIVE_CACHE: Optional[EvaluationCache] = None
 
 
-def resolve_workers(parallel: Optional[int]) -> int:
+def task_cache() -> Optional[EvaluationCache]:
+    """The cache the current fan-out task should evaluate against (or ``None``)."""
+    return _ACTIVE_CACHE
+
+
+def resolve_workers(parallel: Union[int, "WorkerPool", None]) -> int:
     """Normalise a ``parallel=`` argument to an effective worker count.
 
-    ``None``, 0 and 1 mean serial; negative values mean "use every available CPU".
+    ``None``, 0 and 1 mean serial; negative values mean "use every available CPU";
+    a :class:`WorkerPool` means that pool's size.
     """
     if parallel is None:
         return 1
+    if isinstance(parallel, WorkerPool):
+        return parallel.workers
     if parallel < 0:
         return max(1, os.cpu_count() or 1)
     return max(1, parallel)
@@ -47,45 +87,371 @@ def _context():
         return multiprocessing.get_context()
 
 
+# ---------------------------------------------------------------------- worker side
+def _worker_main(task_conn, result_conn) -> None:
+    """Loop of one long-lived pool worker: sync messages interleave with map work.
+
+    The worker's resident shard lives here, across submissions; ``seed`` adopts a
+    parent delta (never re-shipped back), ``map`` runs a chunk with the shard exposed
+    through :func:`task_cache` and returns the shard's incremental carry.
+
+    The channels are pipes, not queues, on purpose: ``Connection.send`` pickles in
+    the calling thread, so an unpicklable payload or exception raises *here*, where
+    the fallback below can still ship the traceback — a queue's feeder thread would
+    drop the message silently and leave the parent waiting forever.
+    """
+    global _ACTIVE_CACHE
+    shard: Optional[EvaluationCache] = None
+    while True:
+        try:
+            message = task_conn.recv()
+        except EOFError:  # parent went away
+            break
+        kind = message[0]
+        if kind == "stop":
+            break
+        if kind == "reset":
+            shard = None
+        elif kind == "seed":
+            if shard is None:
+                shard = EvaluationCache(max_entries=None)
+            shard.seed(message[1])
+        elif kind == "attach_store":
+            path, namespace = message[1], message[2]
+            try:
+                shard = EvaluationCache(
+                    max_entries=None, store=path, namespace=namespace, read_through=True
+                )
+            except Exception:  # corrupt/unreachable store: degrade to a cold shard
+                shard = EvaluationCache(max_entries=None)
+        elif kind == "map":
+            func, chunk, use_shard = message[1], message[2], message[3]
+            if use_shard and shard is None:
+                shard = EvaluationCache(max_entries=None)
+            _ACTIVE_CACHE = shard if use_shard else None
+            try:
+                payloads = [func(item) for item in chunk]
+                carry = shard.take_carry() if use_shard else None
+                result_conn.send(("ok", payloads, carry))
+            except BaseException as exc:
+                detail = traceback.format_exc()
+                try:
+                    result_conn.send(("err", detail, exc))
+                except Exception:  # unpicklable payload/exception: ship the text
+                    result_conn.send(("err", detail, None))
+            finally:
+                _ACTIVE_CACHE = None
+
+
+# ---------------------------------------------------------------------- parent side
+class WorkerPool:
+    """A long-lived fork pool with worker-resident evaluation-cache shards.
+
+    Create one pool per search — or per whole experiment matrix — and pass it
+    anywhere a ``parallel=`` argument accepts an integer::
+
+        with WorkerPool(8, cache=shared_cache) as pool:
+            ga.optimize(seed_plan, parallel=pool)
+            scheduler.explore(workload, parallel=pool)
+            dse.sweep(parallel=pool)
+
+    The pool forks its workers once, on first use.  :meth:`bind` attaches the shared
+    :class:`EvaluationCache` whose contents the shards mirror; binding a *different*
+    cache resets the shards (correct, merely cold).  Entries always flow as deltas:
+    the parent keeps one watermark per worker and an origin map so no entry is ever
+    shipped twice to the same worker — :attr:`CacheStats.shipped` counts exactly the
+    entries that crossed.  Pools are process-local and refuse to be pickled.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        cache: Optional[EvaluationCache] = None,
+    ) -> None:
+        self.workers = resolve_workers(-1 if workers is None else workers)
+        self._cache: Optional[EvaluationCache] = None
+        self._watermarks: List[int] = [0] * self.workers
+        self._origin: Dict[str, int] = {}
+        self._procs: List[multiprocessing.Process] = []
+        self._task_conns: List[Any] = []
+        self._result_conns: List[Any] = []
+        self._started = False
+        self._closed = False
+        if cache is not None:
+            self.bind(cache)
+
+    def __reduce__(self):
+        raise TypeError("WorkerPool is process-local and cannot be pickled")
+
+    # ------------------------------------------------------------------ lifecycle
+    def _ensure_started(self) -> None:
+        if self._closed:
+            raise RuntimeError("WorkerPool is closed")
+        if self._started:
+            return
+        ctx = _context()
+        for _ in range(self.workers):
+            # Pipes, not queues: sends pickle synchronously in the sending process,
+            # so bad payloads raise where they can be handled instead of being
+            # dropped by a queue feeder thread (which would hang the other side).
+            task_parent, task_child = ctx.Pipe()
+            result_parent, result_child = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main, args=(task_child, result_child), daemon=True
+            )
+            proc.start()
+            task_child.close()
+            result_child.close()
+            self._procs.append(proc)
+            self._task_conns.append(task_parent)
+            self._result_conns.append(result_parent)
+        self._started = True
+        self._attach_read_through_store()
+
+    def close(self) -> None:
+        """Stop the workers and release their queues (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if not self._started:
+            return
+        for proc, task_conn in zip(self._procs, self._task_conns):
+            if proc.is_alive():
+                try:
+                    task_conn.send(("stop",))
+                except Exception:  # pragma: no cover - broken pipe on dead worker
+                    pass
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=1)
+        for conn in self._task_conns + self._result_conns:
+            conn.close()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------ cache sync
+    def bind(self, cache: Optional[EvaluationCache]) -> None:
+        """Attach the shared cache the worker shards mirror.
+
+        Re-binding the same object is free (watermarks survive — that is what makes
+        a reused pool cheap).  Binding a different cache resets the shards.
+        """
+        if cache is self._cache:
+            return
+        self._cache = cache
+        self._watermarks = [0] * self.workers
+        self._origin = {}
+        if self._started:
+            for task_conn in self._task_conns:
+                task_conn.send(("reset",))
+            self._attach_read_through_store()
+
+    def _attach_read_through_store(self) -> None:
+        cache = self._cache
+        if cache is None or not cache.read_through or cache.store is None:
+            return
+        for task_conn in self._task_conns:
+            task_conn.send(("attach_store", cache.store.path, cache.store.namespace))
+
+    def _sync_shards(self, cache: EvaluationCache) -> None:
+        """Ship each worker the entries priced since its watermark (delta-only).
+
+        Watermarks advance in lock-step (:meth:`bind` and this method set them all
+        together), so one export serves every worker — ``min()`` only guards a
+        hypothetical drift, where re-shipping is harmless (``seed`` ignores known
+        keys).  Only the origin filter is per-worker.
+        """
+        entries, seq = cache.export_since(min(self._watermarks))
+        self._watermarks = [seq] * self.workers
+        if not entries:
+            return
+        if not self._origin:
+            # The expensive case — first sync of a warm-started cache — sends the
+            # same (potentially large) delta everywhere: pickle once, fan bytes out.
+            blob = multiprocessing.reduction.ForkingPickler.dumps(("seed", entries))
+            for conn in self._task_conns:
+                conn.send_bytes(blob)
+            cache.stats.shipped += len(entries) * self.workers
+            return
+        for index in range(self.workers):
+            view = {
+                key: value
+                for key, value in entries.items()
+                if self._origin.get(key) != index
+            }
+            if not view:
+                continue
+            self._task_conns[index].send(("seed", view))
+            cache.stats.shipped += len(view)
+
+    # ------------------------------------------------------------------ mapping
+    def map(
+        self,
+        func: Callable[[T], R],
+        items: Sequence[T],
+        merge: Optional[Callable[[Dict[str, Any]], None]] = None,
+        sync: bool = True,
+    ) -> List[R]:
+        """Map ``func`` over ``items`` on the resident workers, preserving order.
+
+        With a bound cache (and ``sync=True``) the shards are delta-synced before
+        dispatch and their carries folded back afterwards — through ``merge`` when
+        given (e.g. entries-only absorption), else ``cache.absorb_carry`` — in
+        worker-index order.  Items are split into contiguous, balanced chunks.
+        """
+        items = list(items)
+        if not items:
+            return []
+        self._ensure_started()
+        cache = self._cache if sync else None
+        if cache is not None:
+            self._sync_shards(cache)
+        active = min(self.workers, len(items))
+        chunks: List[Tuple[int, List[T]]] = []
+        base, extra = divmod(len(items), active)
+        lo = 0
+        for index in range(active):
+            hi = lo + base + (1 if index < extra else 0)
+            chunks.append((index, items[lo:hi]))
+            lo = hi
+        for index, chunk in chunks:
+            self._task_conns[index].send(("map", func, chunk, cache is not None))
+
+        results: List[R] = []
+        carries: List[Tuple[int, Optional[Dict[str, Any]]]] = []
+        failure: Optional[Tuple[str, Optional[BaseException]]] = None
+        broken = False
+        try:
+            for index, _ in chunks:
+                try:
+                    status, payload, carry = self._receive(index)
+                except RuntimeError as exc:  # worker died; keep draining live ones
+                    if failure is None:
+                        failure = (str(exc), exc)
+                    broken = True
+                    continue
+                if status == "err":
+                    # Task raised (worker survived): drain the rest, stay usable.
+                    if failure is None:
+                        failure = (payload, carry)
+                    continue
+                results.extend(payload)
+                carries.append((index, carry))
+        except BaseException:
+            # Anything escaping the drain (e.g. KeyboardInterrupt) leaves result
+            # pipes with unread messages; a later map() would read stale payloads.
+            self.close()
+            raise
+
+        # Absorb the successful workers' carries even when another worker failed:
+        # their shards already marked those entries as shipped (take_carry), so
+        # dropping the carries here would lose the priced work for good.
+        for index, carry in carries:
+            if not carry:
+                continue
+            for key in carry["delta"]:
+                self._origin[key] = index
+            if merge is not None:
+                merge(carry)
+            elif cache is not None:
+                cache.absorb_carry(carry)
+
+        if failure is not None:
+            detail, exc = failure
+            if broken:
+                # A dead worker leaves the pool unschedulable; close it so later
+                # maps fail fast with "closed" instead of hanging on a ghost.
+                self.close()
+            if isinstance(exc, BaseException):
+                # Chain the worker-side traceback text: the re-raised exception's
+                # own stack ends here in the parent, which is useless on its own.
+                raise exc from RuntimeError(f"worker-side traceback:\n{detail}")
+            raise RuntimeError(f"pool worker failed:\n{detail}")
+        return results
+
+    def _receive(self, index: int):
+        conn = self._result_conns[index]
+        while not conn.poll(timeout=1.0):
+            if not self._procs[index].is_alive():
+                raise RuntimeError(f"pool worker {index} died mid-task")
+        try:
+            return conn.recv()
+        except EOFError:
+            raise RuntimeError(f"pool worker {index} died mid-task") from None
+        except Exception as exc:
+            # recv_bytes preserved the message boundary, so the channel is still
+            # aligned — only this chunk's result is lost to the unpickle failure.
+            return ("err", f"failed to unpickle worker {index}'s result: {exc!r}", None)
+
+
+# ---------------------------------------------------------------------- functional API
 def parallel_map(
     func: Callable[[T], R],
     items: Sequence[T],
-    parallel: Optional[int] = None,
+    parallel: Union[int, WorkerPool, None] = None,
     chunksize: int = 1,
 ) -> List[R]:
-    """Map ``func`` over ``items``, optionally on a process pool, preserving order.
+    """Map ``func`` over ``items``, optionally on a worker pool, preserving order.
 
-    The serial fallback (``parallel in (None, 0, 1)`` or fewer than two items) runs the
-    exact same function in-process, so parallel and serial runs return identical
-    results whenever ``func`` is deterministic.
+    ``parallel`` is a :class:`WorkerPool` (reused, workers stay warm) or an integer
+    (an ephemeral pool is created for the call).  The serial fallback (``parallel in
+    (None, 0, 1)`` or fewer than two items) runs the exact same function in-process,
+    so parallel and serial runs return identical results whenever ``func`` is
+    deterministic.  ``chunksize`` is accepted for backwards compatibility; items are
+    always split into contiguous balanced chunks.
     """
+    del chunksize  # block partitioning made the knob moot
+    if isinstance(parallel, WorkerPool):
+        return parallel.map(func, items, sync=False)
     workers = resolve_workers(parallel)
     if workers <= 1 or len(items) < 2:
         return [func(item) for item in items]
-    workers = min(workers, len(items))
-    with ProcessPoolExecutor(max_workers=workers, mp_context=_context()) as pool:
-        return list(pool.map(func, items, chunksize=max(1, chunksize)))
+    with WorkerPool(min(workers, len(items))) as pool:
+        return pool.map(func, items, sync=False)
 
 
 def parallel_map_merge(
-    func: Callable[[T], Any],
+    func: Callable[[T], R],
     items: Sequence[T],
-    parallel: Optional[int] = None,
-    chunksize: int = 1,
-    merge: Optional[Callable[[Any], None]] = None,
-) -> List[Any]:
-    """Map scatter/gather tasks that return ``(payload, carry)`` and fold each carry.
+    parallel: Union[int, WorkerPool, None] = None,
+    cache: Optional[EvaluationCache] = None,
+) -> List[R]:
+    """Fan whole-point tasks out with a shared evaluation cache, returning payloads.
 
-    This is the convention the scale-out sweeps share: a worker task prices its slice
-    of the experiment matrix against a *private* evaluation cache seeded from the
-    parent's, and returns its payload together with a carry — the cache delta (freshly
-    priced entries) and a counter snapshot.  ``merge`` is applied to every carry in
-    submission order, so absorbing deltas into the parent's shared cache (and its
-    stats) yields the same end state for any worker count, including the serial path.
+    This is the convention the scale-out sweeps share.  Tasks obtain their cache via
+    :func:`task_cache` instead of carrying (or being pickled with) a snapshot:
+
+    * **serial** — the task sees ``cache`` itself; nothing is copied at all;
+    * **pool** — the task sees the worker's resident shard, which the pool keeps
+      coherent with ``cache`` by watermarked deltas and whose carry (freshly priced
+      entries + counter increments) is absorbed back in worker-index order.
+
+    Results and cache end state are identical for any worker count because pricing
+    is a pure function of the point — the cache only changes *what is recomputed*.
     """
-    payloads: List[Any] = []
-    for payload, carry in parallel_map(func, items, parallel=parallel, chunksize=chunksize):
-        if merge is not None:
-            merge(carry)
-        payloads.append(payload)
-    return payloads
+    global _ACTIVE_CACHE
+    if isinstance(parallel, WorkerPool):
+        parallel.bind(cache)
+        return parallel.map(func, items)
+    workers = resolve_workers(parallel)
+    if workers <= 1 or len(items) < 2:
+        previous = _ACTIVE_CACHE
+        _ACTIVE_CACHE = cache
+        try:
+            return [func(item) for item in items]
+        finally:
+            _ACTIVE_CACHE = previous
+    with WorkerPool(min(workers, len(items)), cache=cache) as pool:
+        return pool.map(func, items)

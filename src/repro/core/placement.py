@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.plan import MemPair, StagePlacement
-from repro.interconnect.routing import LinkLoadTracker, path_links, xy_path
+from repro.interconnect.routing import path_links, xy_path
 from repro.interconnect.topology import MeshTopology
 
 Coord = Tuple[int, int]

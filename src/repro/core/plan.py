@@ -9,7 +9,7 @@ on the mesh and the Sender→Helper checkpoint-balancing pairs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.interconnect.collectives import CollectiveAlgorithm
 from repro.parallelism.partition import TPSplitStrategy

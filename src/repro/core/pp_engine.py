@@ -9,8 +9,8 @@ time the pipeline simulator uses and the conflict count γ that feeds Eq. 2.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
 
 from repro.core.plan import MemPair, StagePlacement
 from repro.interconnect.routing import LinkLoadTracker, fault_aware_path, xy_path

@@ -20,7 +20,7 @@ the Mem_pair set that the memory scheduler (placement + DRAM allocation) refines
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.core.plan import MemPair, RecomputeConfig
 from repro.core.tp_engine import TPEngine

@@ -10,7 +10,7 @@ with its ``fault_aware`` switch.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Sequence
 
 from repro.core.evaluator import EvaluationResult, Evaluator
 from repro.core.plan import TrainingPlan

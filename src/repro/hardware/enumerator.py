@@ -9,10 +9,10 @@ then evaluates each surviving candidate.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.hardware.area import AreaModel
-from repro.hardware.template import ComputeDieConfig, DieConfig, DramChipletConfig, WaferConfig
+from repro.hardware.template import DieConfig, DramChipletConfig, WaferConfig
 from repro.hardware.configs import compute_die_16x16, compute_die_18x18
 
 

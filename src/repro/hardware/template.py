@@ -16,7 +16,7 @@ makes the architecture design-space exploration possible.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.units import GB, MB, tflops
 

@@ -9,7 +9,7 @@ wafer-to-wafer fabric.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import networkx as nx
 

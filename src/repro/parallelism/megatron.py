@@ -8,7 +8,6 @@ model-parallel dies to pipeline stages.  The heuristic knows nothing about the w
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.parallelism.strategies import ParallelismConfig
 from repro.workloads.memory import TrainingMemoryModel

@@ -21,11 +21,7 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.units import FP16_BYTES, FP32_BYTES
 from repro.workloads.models import ModelConfig
-from repro.workloads.transformer import (
-    build_layer_graph,
-    embedding_operator,
-    layer_checkpoint_bytes,
-)
+from repro.workloads.transformer import embedding_operator, layer_checkpoint_bytes
 
 #: Mixed-precision Adam training state per parameter: FP16 weight + FP16 gradient +
 #: FP32 momentum + FP32 variance + FP32 master weight.

@@ -11,7 +11,7 @@ the shapes so that memory accounting stays self-consistent.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.units import FP16_BYTES

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional
+from typing import Dict
 
 
 class OperatorKind(enum.Enum):

@@ -8,7 +8,7 @@ schedulers need.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import List
 
 from repro.workloads.memory import TrainingMemoryModel

@@ -1,6 +1,5 @@
 """Metrics normalisation, speedups, heatmaps and report formatting."""
 
-import math
 
 import pytest
 

@@ -6,12 +6,10 @@ from repro.baselines.dse_frameworks import DSE_FRAMEWORKS, evaluate_dse_framewor
 from repro.baselines.gpu_system import GpuEvaluator, megatron_gpu_result
 from repro.baselines.wafer_strategies import cerebras_wafer_result, megatron_wafer_plan
 from repro.core.central_scheduler import CentralScheduler
-from repro.hardware.configs import dgx_b300_equalized, dgx_b300_node, nvl72_gb300, wafer_config3
+from repro.hardware.configs import dgx_b300_equalized, dgx_b300_node, nvl72_gb300
 from repro.parallelism.strategies import ParallelismConfig
 from repro.workloads.models import get_model
 from repro.workloads.workload import TrainingWorkload
-
-from repro_testlib import make_small_wafer, make_tiny_model
 
 
 @pytest.fixture(scope="module")

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.central_scheduler import CentralScheduler
-from repro.core.framework import Watos, WatosResult, WorkloadOutcome
+from repro.core.framework import Watos
 from repro.core.genetic import GAConfig
 from repro.core.hardware_dse import DieGranularityDse, classify_die
 from repro.core.robustness import RobustnessEvaluator

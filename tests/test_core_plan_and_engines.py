@@ -11,12 +11,8 @@ from repro.core.placement import (
 from repro.core.plan import MemPair, RecomputeConfig, StagePlacement, TrainingPlan
 from repro.core.pp_engine import PPEngine
 from repro.core.tp_engine import TPEngine
-from repro.interconnect.collectives import CollectiveAlgorithm
 from repro.interconnect.topology import MeshTopology
 from repro.parallelism.strategies import ParallelismConfig
-from repro.workloads.workload import TrainingWorkload
-
-from repro_testlib import make_small_wafer
 
 
 class TestRecomputeConfig:

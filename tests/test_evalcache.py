@@ -19,7 +19,7 @@ from repro.core.evalcache import (
 from repro.core.evaluator import Evaluator
 from repro.core.genetic import GAConfig, GeneticOptimizer
 from repro.core.hardware_dse import DieGranularityDse
-from repro.core.plan import MemPair, RecomputeConfig, TrainingPlan
+from repro.core.plan import MemPair
 from repro.hardware.faults import FaultModel
 from repro.parallelism.partition import TPSplitStrategy
 from repro.parallelism.pipeline import (
@@ -27,7 +27,6 @@ from repro.parallelism.pipeline import (
     simulate_1f1b,
     simulate_1f1b_reference,
 )
-from repro.parallelism.strategies import ParallelismConfig
 from repro.interconnect.collectives import CollectiveAlgorithm
 from repro.workloads.workload import TrainingWorkload
 

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.hardware.area import AreaModel
 from repro.hardware.enumerator import ArchitectureEnumerator, CandidateSpec
 
 

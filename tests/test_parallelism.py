@@ -22,8 +22,6 @@ from repro.units import GB
 from repro.workloads.models import get_model
 from repro.workloads.workload import TrainingWorkload
 
-from repro_testlib import make_small_wafer
-
 
 class TestParallelismConfig:
     def test_sizes(self):

@@ -3,12 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.predictor.analytical import AnalyticalPredictor, OperatorEstimate
+from repro.predictor.analytical import AnalyticalPredictor
 from repro.predictor.dnn import DnnOperatorPredictor, MlpRegressor
 from repro.predictor.lookup import OperatorProfileTable
-from repro.workloads.operators import Operator, OperatorKind
+from repro.workloads.operators import OperatorKind
 from repro.workloads.transformer import build_layer_graph
-from repro.workloads.workload import TrainingWorkload
 
 from repro_testlib import make_small_wafer, make_tiny_model
 
