@@ -24,12 +24,13 @@ from dataclasses import replace
 from typing import Dict, List
 
 from repro.analysis.reporting import Report
+from repro.api import Session
 from repro.baselines.gpu_system import GpuEvaluator
 from repro.core.central_scheduler import CentralScheduler
 from repro.core.evalcache import EvaluationCache
 from repro.core.evaluator import Evaluator
 from repro.core.genetic import GAConfig, GeneticOptimizer
-from repro.core.parallel_map import WorkerPool, parallel_map_merge, task_cache
+from repro.core.parallel_map import parallel_map_merge, task_cache
 from repro.hardware.configs import GpuSystemConfig, dgx_b300_equalized
 from repro.hardware.template import WaferConfig
 from repro.interconnect.topology import MultiWaferTopology
@@ -61,7 +62,7 @@ def multi_wafer_throughput(wafer, workload, num_wafers, w2w_bandwidth, cache=Non
         sub_model, workload.global_batch_size, workload.micro_batch_size,
         workload.seq_len,
     )
-    best = CentralScheduler(wafer, cache=cache).best(sub_workload)
+    best = CentralScheduler(wafer, evaluator=Evaluator(wafer, cache=cache)).best(sub_workload)
     if best is None:
         return 0.0
     sub_iteration = best.result.iteration_time
@@ -211,16 +212,16 @@ def main(argv=None) -> int:
         population_size=args.population, generations=args.generations, seed=args.seed
     )
 
-    shared = EvaluationCache(store=args.cache) if args.cache else EvaluationCache()
+    # One Session for the whole experiment matrix: it owns the persistent worker
+    # pool (the timed run and any follow-up sweeps reuse the same forked workers and
+    # their resident cache shards) and the shared — optionally persistent — cache.
+    session = Session(workers=args.parallel, store=args.cache)
+    shared = session.cache
     loaded = shared.stats.loaded
-    # One persistent pool for the whole experiment matrix: the timed run and any
-    # follow-up sweeps reuse the same forked workers and their resident cache shards.
-    pool = WorkerPool(args.parallel) if args.parallel not in (None, 0, 1) else None
     try:
         start = time.perf_counter()
         rows = run_multiwafer_ga(
-            wafer, workload, args.wafers, config, shared,
-            parallel=pool if pool is not None else args.parallel,
+            wafer, workload, args.wafers, config, shared, parallel=session.pool
         )
         elapsed = time.perf_counter() - start
         stats = shared.stats
@@ -239,10 +240,7 @@ def main(argv=None) -> int:
                 )
                 return 1
     finally:
-        if pool is not None:
-            pool.close()
-
-    shared.close()
+        session.close()
     metrics = {
         "wafers": args.wafers,
         "parallel_workers": args.parallel,

@@ -27,66 +27,20 @@ import json
 import sys
 import time
 
+from repro.api import Session
+from repro.api.registry import tiny_wafer, tiny_workload
 from repro.core.central_scheduler import CentralScheduler
 from repro.core.evaluator import Evaluator
 from repro.core.genetic import GAConfig, GeneticOptimizer
-from repro.core.parallel_map import WorkerPool
-from repro.hardware.template import (
-    ComputeDieConfig,
-    CoreConfig,
-    DieConfig,
-    DramChipletConfig,
-    WaferConfig,
-)
-from repro.units import GB, tbps, tflops
-from repro.workloads.models import ModelConfig, ModelFamily
+from repro.core.runtime import SessionHandle
+from repro.hardware.template import WaferConfig
 from repro.workloads.workload import TrainingWorkload
 
-
-def bench_wafer(dram_gb: float = 1.0) -> WaferConfig:
-    """A small 4×4 wafer whose tight per-die DRAM forces recomputation/balancing."""
-    compute = ComputeDieConfig(
-        core_rows=8,
-        core_cols=8,
-        core=CoreConfig(flops_fp16=tflops(1.0)),
-        width_mm=12.0,
-        height_mm=12.0,
-        edge_io_bandwidth=tbps(6.0),
-    )
-    chiplet = DramChipletConfig(
-        capacity_bytes=dram_gb * GB / 4,
-        bandwidth=tbps(1.0) / 4,
-        interface_bandwidth=tbps(1.0) / 4,
-        width_mm=3.0,
-        height_mm=6.0,
-    )
-    die = DieConfig(
-        compute=compute,
-        dram_chiplet=chiplet,
-        num_dram_chiplets=4,
-        d2d_bandwidth=tbps(2.0),
-    )
-    return WaferConfig(name="bench-wafer", dies_x=4, dies_y=4, die=die,
-                       wafer_width_mm=100.0, wafer_height_mm=100.0)
-
-
-def bench_workload() -> TrainingWorkload:
-    """A toy transformer with a heavy micro-batch so checkpoints dominate memory."""
-    model = ModelConfig(
-        name="bench-transformer",
-        family=ModelFamily.TRANSFORMER,
-        num_layers=8,
-        hidden_size=512,
-        num_heads=8,
-        num_kv_heads=8,
-        ffn_hidden=1408,
-        vocab_size=8000,
-        default_seq_len=512,
-        gated_mlp=True,
-    )
-    return TrainingWorkload(
-        model, global_batch_size=32, micro_batch_size=8, sequence_length=2048
-    )
+# The bench shapes moved into the Session registry (spec name "tiny") so every CLI
+# and the smoke specs share them; the names and dataclasses are unchanged, which
+# keeps evaluation fingerprints (and persisted stores) compatible.
+bench_wafer = tiny_wafer
+bench_workload = tiny_workload
 
 
 def run_ga(
@@ -94,22 +48,22 @@ def run_ga(
     workload: TrainingWorkload,
     config: GAConfig,
     fast: bool,
-    parallel=None,
+    session=None,
     evaluator=None,
 ):
     """One timed GA run; returns (elapsed seconds, GAResult, evaluator).
 
-    ``parallel`` is forwarded to :meth:`GeneticOptimizer.optimize` — an integer spins
-    an ephemeral pool per generation (the pre-pool behaviour), a :class:`WorkerPool`
-    keeps one set of forked workers and their resident cache shards for the whole run.
-    Pass ``evaluator`` to rerun against an existing warm cache (pool-reuse timing).
+    ``session`` supplies the worker pool :meth:`GeneticOptimizer.optimize` prices
+    generations on (a :class:`repro.api.Session` or a bare session handle); ``None``
+    runs serial.  Pass ``evaluator`` to rerun against an existing warm cache
+    (pool-reuse timing).
     """
     if evaluator is None:
         evaluator = Evaluator(wafer, use_cache=fast, memoize_stages=fast)
     seed_plan = CentralScheduler(wafer, evaluator=evaluator).best(workload).plan
     ga = GeneticOptimizer(evaluator, workload, config)
     start = time.perf_counter()
-    outcome = ga.optimize(seed_plan, parallel=parallel)
+    outcome = ga.optimize(seed_plan, session=session or SessionHandle())
     elapsed = time.perf_counter() - start
     return elapsed, outcome, evaluator
 
@@ -166,21 +120,24 @@ def main(argv=None) -> int:
     }
 
     if args.parallel is not None:
-        # Headline parallel number: ONE persistent WorkerPool for the whole GA run.
-        # The same pool, evaluator and cache are then reused for a second, warm run:
-        # its per-generation cost is pure dispatch (every plan is a cache hit),
-        # which is what "near-constant dispatch cost as the cache grows" means
-        # operationally.
-        with WorkerPool(args.parallel) as pool:
+        # Headline parallel number: ONE Session (persistent WorkerPool) for the whole
+        # GA run.  The same session, evaluator and cache are then reused for a
+        # second, warm run: its per-generation cost is pure dispatch (every plan is
+        # a cache hit), which is what "near-constant dispatch cost as the cache
+        # grows" means operationally.
+        with Session(workers=args.parallel) as session:
             par_time, par_outcome, par_eval = run_ga(
-                wafer, workload, config, fast=True, parallel=pool
+                wafer, workload, config, fast=True, session=session
             )
             reuse_time, reuse_outcome, _ = run_ga(
-                wafer, workload, config, fast=True, parallel=pool, evaluator=par_eval
+                wafer, workload, config, fast=True, session=session, evaluator=par_eval
             )
-        # The pre-pool comparison path: an ephemeral pool per generation.
+        # The pre-pool comparison path: an ephemeral pool per generation (an integer
+        # on the session handle keeps the legacy semantics without the deprecated
+        # kwarg spelling).
         eph_time, eph_outcome, _ = run_ga(
-            wafer, workload, config, fast=True, parallel=args.parallel
+            wafer, workload, config, fast=True,
+            session=SessionHandle(parallel=args.parallel),
         )
         for label, outcome in (
             ("parallel", par_outcome),

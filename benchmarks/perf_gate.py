@@ -69,6 +69,25 @@ def _gate_one(name: str, measured, gate_value, max_drop: float) -> bool:
     return ok
 
 
+def _gate_metric(name: str, current: dict, baseline: dict, max_drop: float,
+                 current_path: str) -> bool:
+    """Gate one metric, tolerating files that predate it.
+
+    A baseline without the metric skips the gate (older baselines keep working); a
+    *metrics* file without it fails with a clear re-run message instead of the raw
+    ``KeyError`` a stale bench JSON used to raise.
+    """
+    if name not in baseline:
+        print(f"SKIP: baseline has no '{name}' gate (predates it); "
+              "refresh the baseline to start gating it")
+        return True
+    if name not in current:
+        print(f"FAIL: metric '{name}' missing from {current_path} — the JSON predates "
+              "this gate; re-run the benchmark to regenerate it")
+        return False
+    return _gate_one(name, current[name], baseline[name], max_drop)
+
+
 def check(
     current_path: str,
     baseline_path: str,
@@ -83,21 +102,12 @@ def check(
         print("FAIL: benchmark reports best_fitness mismatch (cached != uncached)")
         return 1
 
-    failed |= not _gate_one(
-        "evals_per_sec", current["evals_per_sec"], baseline["evals_per_sec"], max_drop
+    failed |= not _gate_metric(
+        "evals_per_sec", current, baseline, max_drop, current_path
     )
-    if "parallel_evals_per_sec" in baseline:
-        if "parallel_evals_per_sec" not in current:
-            print("FAIL: baseline gates parallel_evals_per_sec but the metrics file "
-                  "has none (run bench_search_throughput.py with --parallel)")
-            failed = True
-        else:
-            failed |= not _gate_one(
-                "parallel_evals_per_sec",
-                current["parallel_evals_per_sec"],
-                baseline["parallel_evals_per_sec"],
-                max_drop,
-            )
+    failed |= not _gate_metric(
+        "parallel_evals_per_sec", current, baseline, max_drop, current_path
+    )
     if "multiwafer_warm_hit_rate" in baseline:
         if multiwafer_path is None:
             print("FAIL: baseline gates multiwafer_warm_hit_rate but no --multiwafer "
@@ -111,6 +121,10 @@ def check(
             if not multiwafer.get("warm_start"):
                 print("FAIL: multi-wafer metrics come from a cold run (warm_start "
                       "false) — run the benchmark twice against one --cache store")
+                failed = True
+            elif "cache_hit_rate" not in multiwafer:
+                print(f"FAIL: metric 'cache_hit_rate' missing from {multiwafer_path} "
+                      "— the JSON predates this gate; re-run the benchmark")
                 failed = True
             else:
                 # The hit rate is machine-independent, so it gets only its own small

@@ -2,37 +2,39 @@
 """Architecture design-space exploration: enumerate wafer configurations under the area
 constraint and co-explore training strategies for a mix of LLM workloads.
 
-This is the full WATOS flow of Fig. 9: Enumerator → co-exploration engine → reports.
+This is the full WATOS flow of Fig. 9: Enumerator → co-exploration engine → reports,
+driven through the unified Session runtime (one ExperimentSpec, one `session.run`).
 
 Run with::
 
     python examples/architecture_dse.py
 """
 
-from repro import TrainingWorkload, get_model
 from repro.analysis.reporting import Report
-from repro.core.framework import Watos
-from repro.core.genetic import GAConfig
-from repro.hardware.configs import wafer_config2, wafer_config3, wafer_config4
+from repro.api import ExperimentSpec, Session
 
 
 def main() -> None:
-    # Candidate architectures: three of the Table II presets (an enumerator could be
-    # used instead — see repro.hardware.enumerator.ArchitectureEnumerator).
-    candidates = [wafer_config2(), wafer_config3(), wafer_config4()]
-
-    workloads = [
-        TrainingWorkload(get_model("llama2-30b"), 128, 4, 4096),
-        TrainingWorkload(get_model("llama3-70b"), 128, 4, 4096),
-        TrainingWorkload(get_model("gpt-175b"), 64, 4, 2048),
-    ]
-
-    watos = Watos(
-        candidates=candidates,
-        use_ga=True,
-        ga_config=GAConfig(population_size=8, generations=6, seed=0),
+    # One declarative spec: candidate architectures (three Table II presets — an
+    # enumerator could be used instead), the workload mix, and the GA knobs.  The
+    # session owns the shared evaluation cache every (wafer, workload) point prices
+    # against; add Session(workers=4) to fan the points out over a persistent pool.
+    spec = ExperimentSpec(
+        kind="watos",
+        wafers=["config2", "config3", "config4"],
+        workloads=[
+            {"model": "llama2-30b", "global_batch_size": 128, "micro_batch_size": 4,
+             "sequence_length": 4096},
+            {"model": "llama3-70b", "global_batch_size": 128, "micro_batch_size": 4,
+             "sequence_length": 4096},
+            {"model": "gpt-175b", "global_batch_size": 64, "micro_batch_size": 4,
+             "sequence_length": 2048},
+        ],
+        population=8, generations=6, seed=0,
     )
-    result = watos.explore(workloads)
+    with Session() as session:
+        run = session.run(spec)
+    result = run.details  # the full WatosResult
 
     report = Report("WATOS architecture / training-strategy co-exploration")
     rows = {}

@@ -10,18 +10,24 @@ Run with::
     python examples/fault_tolerant_wafer.py
 """
 
-from repro import TrainingWorkload, get_model, wafer_config3
-from repro.core.central_scheduler import CentralScheduler
+from repro import wafer_config3
+from repro.api import ExperimentSpec, Session, resolve_workload
 from repro.core.robustness import RobustnessEvaluator
 
 
 def main() -> None:
     wafer = wafer_config3()
-    workload = TrainingWorkload(
-        get_model("llama2-30b"), global_batch_size=128, micro_batch_size=4,
-        sequence_length=4096,
-    )
-    plan = CentralScheduler(wafer).best(workload).plan
+    workload_spec = {
+        "model": "llama2-30b", "global_batch_size": 128, "micro_batch_size": 4,
+        "sequence_length": 4096,
+    }
+    # The plan under test comes from the central scheduler, run through the unified
+    # Session entry point (same search as `python -m repro run --kind scheduler`).
+    with Session() as session:
+        plan = session.run(
+            ExperimentSpec(kind="scheduler", wafer="config3", workload=workload_spec)
+        ).plan
+    workload = resolve_workload(workload_spec)
     evaluator = RobustnessEvaluator(wafer, workload, plan, seed=42)
 
     print(f"plan under test: {plan.label()}\n")

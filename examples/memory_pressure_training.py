@@ -12,6 +12,7 @@ Run with::
 """
 
 from repro import Evaluator, ParallelismConfig, TrainingWorkload, get_model, wafer_config3
+from repro.api import Session
 from repro.baselines.wafer_strategies import megatron_wafer_plan
 from repro.core.central_scheduler import CentralScheduler
 from repro.core.plan import RecomputeConfig, TrainingPlan
@@ -25,7 +26,10 @@ def main() -> None:
         get_model("gpt-175b"), global_batch_size=64, micro_batch_size=8,
         sequence_length=2048,
     )
-    evaluator = Evaluator(wafer)
+    # One session for the whole walkthrough: every pricing below shares its
+    # evaluation cache (the ambient-session form of the unified runtime API).
+    session = Session()
+    evaluator = Evaluator(wafer, cache=session.cache)
     tp, pp = 4, 14
     shape = best_mesh_shape(tp, wafer.dies_x, wafer.dies_y)
 
@@ -44,8 +48,9 @@ def main() -> None:
     print(f"  helpers (spare DRAM)    : {list(gcmr.helpers)}")
     print(f"  balanced bytes          : {gcmr.total_balanced_bytes / 1e9:.1f} GB")
 
-    # 3. Full WATOS plan (placement + DRAM allocation + evaluation).
-    plan = CentralScheduler(wafer).build_plan(workload, tp, pp)
+    # 3. Full WATOS plan (placement + DRAM allocation + evaluation); the scheduler
+    #    adopts the session's shared cache.
+    plan = CentralScheduler(wafer, session=session).build_plan(workload, tp, pp)
     watos_result = evaluator.evaluate(workload, plan)
     print(f"\nWATOS plan ({plan.parallelism.label()}):")
     print(f"  throughput       : {watos_result.throughput / 1e12:.0f} TFLOPS")
@@ -59,6 +64,7 @@ def main() -> None:
               f"(recompute ratio {mg_result.recompute_ratio:.2%})")
         print(f"WATOS speedup over MG-wafer: "
               f"{watos_result.throughput / mg_result.throughput:.2f}x")
+    session.close()
 
 
 if __name__ == "__main__":

@@ -1,49 +1,56 @@
 #!/usr/bin/env python3
 """Quickstart: find the best WATOS training strategy for Llama-2 30B on wafer Config 3.
 
-Run with::
+Everything runs through one :class:`repro.api.Session` — the object that owns the
+worker pool and the shared evaluation cache — and declarative
+:class:`repro.api.ExperimentSpec` descriptions of what to run.  The same specs work
+from the shell::
 
     python examples/quickstart.py
+    python -m repro run --kind scheduler --wafer config3 --workload llama2-30b
 """
 
-from repro import Evaluator, ParallelismConfig, TrainingWorkload, get_model, wafer_config3
-from repro.core.central_scheduler import CentralScheduler
-from repro.core.plan import RecomputeConfig, TrainingPlan
+from repro.api import ExperimentSpec, Session
+
+WORKLOAD = {
+    "model": "llama2-30b",
+    "global_batch_size": 128,
+    "micro_batch_size": 4,
+    "sequence_length": 4096,
+}
 
 
 def main() -> None:
-    # 1. Pick a wafer configuration (Table II Config 3, the paper's optimum) and a model.
-    wafer = wafer_config3()
-    model = get_model("llama2-30b")
-    workload = TrainingWorkload(
-        model, global_batch_size=128, micro_batch_size=4, sequence_length=4096
-    )
-    print("wafer:", wafer.describe())
-    print("workload:", workload.describe())
+    with Session() as session:
+        # 1. WATOS central scheduler: search the (TP, PP, collective) space, applying
+        #    GCMR recomputation and checkpoint balancing whenever memory gets tight.
+        spec = ExperimentSpec(kind="scheduler", wafer="config3", workload=WORKLOAD)
+        run = session.run(spec)
+        best = run.result
+        print(f"WATOS best plan: {run.plan.label()}")
+        print(f"  throughput      : {best.throughput / 1e12:.0f} TFLOPS")
+        print(f"  iteration time  : {best.iteration_time:.2f} s")
+        print(f"  recompute ratio : {best.recompute_ratio:.2%}")
+        print(f"  bubble fraction : {best.bubble_fraction:.2%}")
+        print(f"  per-stage memory (GB): "
+              f"{[round(m / 1e9, 1) for m in best.stage_memory_bytes]}")
+        print(f"  ({run.metrics['records']} candidates priced in {run.seconds:.1f}s)")
 
-    # 2. Price a hand-written plan: TP=8, PP=7, no recomputation.
-    evaluator = Evaluator(wafer)
-    manual = TrainingPlan(
-        parallelism=ParallelismConfig(dp=1, tp=8, pp=7),
-        tp_shape=(2, 4),
-        recompute=RecomputeConfig.none(7),
-    )
-    manual_result = evaluator.evaluate(workload, manual)
-    print(f"\nmanual plan {manual.parallelism.label()}: "
-          f"{manual_result.throughput / 1e12:.0f} TFLOPS, "
-          f"iteration {manual_result.iteration_time:.2f}s")
+        # 2. Refine the plan with the genetic optimizer (§IV-D).  The session's
+        #    cache is already warm from step 1, so the GA only prices new mutants.
+        ga_spec = ExperimentSpec(
+            kind="ga", wafer="config3", workload=WORKLOAD,
+            population=8, generations=5,
+        )
+        ga_run = session.run(ga_spec)
+        print(f"\nGA-refined plan: {ga_run.plan.label()}")
+        print(f"  throughput      : {ga_run.throughput / 1e12:.0f} TFLOPS")
+        print(f"  best fitness    : {ga_run.metrics['best_fitness']:.4f}")
+        print(f"  cache hit rate  : {ga_run.cache_stats['hit_rate']:.1%}")
 
-    # 3. Let WATOS's central scheduler search the (TP, PP, collective) space, applying
-    #    GCMR recomputation and checkpoint balancing whenever memory gets tight.
-    scheduler = CentralScheduler(wafer)
-    best = scheduler.best(workload)
-    print(f"\nWATOS best plan: {best.plan.label()}")
-    print(f"  throughput      : {best.result.throughput / 1e12:.0f} TFLOPS")
-    print(f"  iteration time  : {best.result.iteration_time:.2f} s")
-    print(f"  recompute ratio : {best.result.recompute_ratio:.2%}")
-    print(f"  bubble fraction : {best.result.bubble_fraction:.2%}")
-    print(f"  per-stage memory (GB): "
-          f"{[round(m / 1e9, 1) for m in best.result.stage_memory_bytes]}")
+    # 3. The spec is plain data — dump it next to your results to make the run
+    #    reproducible from the shell: python -m repro run --spec quickstart.json
+    print(f"\nspec as JSON: {ga_spec.to_dict()}")
 
 
 if __name__ == "__main__":

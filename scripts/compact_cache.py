@@ -4,15 +4,22 @@
 JSONL stores grow append-only: every re-priced or re-flushed key adds a row, and only
 the last row per key wins on load.  Week-long sweeps therefore accumulate dead rows
 that slow every warm start.  This tool folds the history into exactly one row per
-surviving key (``EvaluationCache.compact``, built on ``CacheStore.replace_all``), and
-``--max-entries`` is the size-based eviction knob for stores that have outgrown their
-usefulness — the newest entries win, oldest first out::
+surviving key (``EvaluationCache.compact``, built on ``CacheStore.replace_all``).
+Two eviction knobs compose (age first, then size):
+
+* ``--max-age SECONDS`` expires rows whose ``priced_at`` timestamp is older than
+  that (rows written before timestamps existed count as infinitely old);
+* ``--max-entries N`` keeps only the newest N entries, oldest first out.
+
+::
 
     PYTHONPATH=src python scripts/compact_cache.py sweep.jsonl
     PYTHONPATH=src python scripts/compact_cache.py sweep.jsonl --max-entries 50000
+    PYTHONPATH=src python scripts/compact_cache.py sweep.jsonl --max-age 604800
 
-Exit status 0 on success (the report shows rows before/after), 1 when the store
-cannot be opened.
+``python -m repro cache compact`` is the same tool inside the unified CLI.  Exit
+status 0 on success (the report shows rows before/after), 1 when the store cannot
+be opened.
 """
 
 from __future__ import annotations
@@ -23,7 +30,7 @@ import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
 
-from repro.core.evalcache import EvaluationCache, open_store  # noqa: E402
+from repro.api.cli import compact_store  # noqa: E402
 
 
 def count_jsonl_rows(path: str) -> int:
@@ -43,6 +50,10 @@ def main(argv=None) -> int:
         help="also evict down to this many entries (newest kept)",
     )
     parser.add_argument(
+        "--max-age", type=float, default=None, metavar="SECONDS",
+        help="also evict rows priced longer than this many seconds ago",
+    )
+    parser.add_argument(
         "--namespace", default=None,
         help="override the fingerprint namespace (default: current schema version)",
     )
@@ -53,17 +64,18 @@ def main(argv=None) -> int:
         return 1
 
     rows_before = count_jsonl_rows(args.store)
-    store = open_store(args.store, namespace=args.namespace)
-    cache = EvaluationCache(max_entries=None, store=store)
-    loaded = cache.stats.loaded
-    kept = cache.compact(max_entries=args.max_entries)
-    cache.close()
+    report = compact_store(
+        args.store,
+        max_entries=args.max_entries,
+        max_age_s=args.max_age,
+        namespace=args.namespace,
+    )
 
     before = f"{rows_before} rows" if rows_before >= 0 else "sqlite"
-    dropped = loaded - kept
     print(
-        f"compacted {args.store}: {before} / {loaded} live entries -> {kept} entries"
-        + (f" ({dropped} evicted)" if dropped > 0 else "")
+        f"compacted {args.store}: {before} / {report['loaded']} live entries "
+        f"-> {report['kept']} entries"
+        + (f" ({report['evicted']} evicted)" if report["evicted"] > 0 else "")
     )
     return 0
 

@@ -19,6 +19,9 @@ The package is organised around the structure of the paper:
   global optimizer, TP/PP execution engines and the evaluator.
 * :mod:`repro.baselines` — GPU systems and prior DSE frameworks used for comparison.
 * :mod:`repro.analysis` — metrics and report formatting helpers.
+* :mod:`repro.api` — the unified Session runtime: one entry point owning the worker
+  pool, the shared evaluation cache and every search loop (``Session.run(spec)``),
+  plus the ``python -m repro`` CLI.
 """
 
 from repro.hardware.configs import (
@@ -33,10 +36,20 @@ from repro.workloads.workload import TrainingWorkload
 from repro.parallelism.strategies import ParallelismConfig
 from repro.core.framework import Watos, WatosResult
 from repro.core.evaluator import Evaluator, EvaluationResult
+from repro.api import (
+    ExperimentSpec,
+    RunResult,
+    Session,
+    default_session,
+)
 
 __version__ = "0.1.0"
 
 __all__ = [
+    "ExperimentSpec",
+    "RunResult",
+    "Session",
+    "default_session",
     "TABLE_II_CONFIGS",
     "wafer_config1",
     "wafer_config2",

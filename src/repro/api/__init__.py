@@ -1,0 +1,40 @@
+"""Unified runtime API: one entry point for pools, caches and every search loop.
+
+:class:`Session` owns the process worker pool, the shared (optionally persistent)
+evaluation cache and the wafer/workload registry; :class:`ExperimentSpec` describes
+what to run; ``Session.run(spec)`` returns a uniform :class:`RunResult`.  The
+``python -m repro`` CLI (:mod:`repro.api.cli`) drives the same objects from the
+shell.
+
+>>> from repro.api import ExperimentSpec, Session
+>>> with Session(workers=4, store="sweep.sqlite") as session:
+...     run = session.run(ExperimentSpec(kind="ga", wafer="config3",
+...                                      workload="llama2-30b"))
+...     print(run.summary())
+"""
+
+from repro.api.registry import (
+    register_wafer,
+    register_workload,
+    resolve_wafer,
+    resolve_workload,
+    tiny_wafer,
+    tiny_workload,
+)
+from repro.api.result import RunResult
+from repro.api.session import Session, close_default_session, default_session
+from repro.api.spec import ExperimentSpec
+
+__all__ = [
+    "ExperimentSpec",
+    "RunResult",
+    "Session",
+    "close_default_session",
+    "default_session",
+    "register_wafer",
+    "register_workload",
+    "resolve_wafer",
+    "resolve_workload",
+    "tiny_wafer",
+    "tiny_workload",
+]

@@ -1,0 +1,252 @@
+"""``python -m repro`` — run experiments and manage caches from the shell.
+
+Three subcommands drive the :class:`~repro.api.Session` runtime:
+
+* ``repro run`` — execute one experiment, from a JSON spec file or inline flags::
+
+      python -m repro run --kind scheduler --wafer tiny --workload tiny --json -
+      python -m repro run --spec experiment.json --workers 4 --store sweep.sqlite
+
+* ``repro sweep`` — execute a JSON *array* of specs on one shared session (one
+  pool, one warm cache)::
+
+      python -m repro sweep --spec matrix.json --workers 8 --store sweep.sqlite
+
+* ``repro cache`` — inspect and maintain persistent stores::
+
+      python -m repro cache stats sweep.jsonl
+      python -m repro cache compact sweep.jsonl --max-entries 50000 --max-age 604800
+
+This replaces the per-script argparse plumbing the benchmark and example CLIs used
+to re-assemble by hand; those scripts now build a session from the same helpers
+(:func:`add_session_arguments` / :func:`session_from_args`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+from repro.api.registry import wafer_names, workload_names
+from repro.api.session import Session
+from repro.api.spec import KINDS, ExperimentSpec
+from repro.core.evalcache import EvaluationCache, open_store
+
+__all__ = [
+    "add_session_arguments",
+    "compact_store",
+    "main",
+    "session_from_args",
+]
+
+
+# ------------------------------------------------------------------ shared plumbing
+def add_session_arguments(parser: argparse.ArgumentParser) -> None:
+    """The runtime flags every session-backed CLI shares."""
+    parser.add_argument(
+        "--workers", "--parallel", dest="workers", type=int, default=None,
+        help="persistent worker-pool size shared by the whole run (-1 = all CPUs)",
+    )
+    parser.add_argument(
+        "--store", "--cache", dest="store", metavar="PATH", default=None,
+        help="persistent cache store (.jsonl or .sqlite); warm-starts when it exists",
+    )
+    parser.add_argument(
+        "--read-through", action="store_true",
+        help="sqlite stores only: answer misses from the file instead of preloading",
+    )
+    parser.add_argument(
+        "--compact-on-exit", action="store_true",
+        help="fold the store to one row per key when the session closes",
+    )
+
+
+def session_from_args(args: argparse.Namespace) -> Session:
+    """Build the session a CLI run executes on (see :func:`add_session_arguments`)."""
+    return Session(
+        workers=args.workers,
+        store=args.store,
+        read_through=getattr(args, "read_through", False),
+        compact_on_exit=getattr(args, "compact_on_exit", False),
+    )
+
+
+def _emit(payload: dict, json_out: Optional[str]) -> None:
+    if json_out == "-":
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+    elif json_out:
+        with open(json_out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"metrics written to {json_out}")
+
+
+# ------------------------------------------------------------------------- run/sweep
+def _specs_from_args(args: argparse.Namespace) -> List[ExperimentSpec]:
+    if args.spec:
+        specs = ExperimentSpec.load(args.spec)
+    else:
+        if not args.wafer and args.kind != "dse":
+            raise SystemExit(
+                "repro run: name a wafer (--wafer) or a spec file (--spec); "
+                f"registered wafers: {', '.join(wafer_names())}"
+            )
+        if not args.workload:
+            raise SystemExit(
+                "repro run: name a workload (--workload) or a spec file (--spec); "
+                f"known workloads include: {', '.join(workload_names()[:8])}, …"
+            )
+        specs = [
+            ExperimentSpec(
+                kind=args.kind,
+                wafer=args.wafer,
+                workload=args.workload,
+                max_tp=args.max_tp,
+                population=args.population,
+                generations=args.generations,
+                seed=args.seed,
+                nest=args.nest,
+            )
+        ]
+    return specs
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    specs = _specs_from_args(args)
+    with session_from_args(args) as session:
+        results = session.sweep(specs)
+    for run in results:
+        print(run.summary())
+    if len(results) == 1:
+        _emit(results[0].to_dict(), args.json)
+    else:
+        _emit({"runs": [run.to_dict() for run in results]}, args.json)
+    return 0 if all(results) else 1
+
+
+# ------------------------------------------------------------------------------ cache
+def compact_store(
+    path: str,
+    max_entries: Optional[int] = None,
+    max_age_s: Optional[float] = None,
+    namespace: Optional[str] = None,
+) -> dict:
+    """Compact a store in place; returns ``{"loaded": …, "kept": …}``.
+
+    Shared by ``repro cache compact`` and ``scripts/compact_cache.py``.
+    """
+    store = open_store(path, namespace=namespace)
+    cache = EvaluationCache(max_entries=None, store=store)
+    loaded = cache.stats.loaded
+    kept = cache.compact(max_entries=max_entries, max_age_s=max_age_s)
+    cache.close()
+    return {"loaded": loaded, "kept": kept, "evicted": max(0, loaded - kept)}
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    if not os.path.exists(args.store_path):
+        print(f"no store at {args.store_path}", file=sys.stderr)
+        return 1
+    if args.cache_command == "compact":
+        report = compact_store(
+            args.store_path,
+            max_entries=args.max_entries,
+            max_age_s=args.max_age,
+            namespace=args.namespace,
+        )
+        print(
+            f"compacted {args.store_path}: {report['loaded']} live entries -> "
+            f"{report['kept']} kept"
+            + (f" ({report['evicted']} evicted)" if report["evicted"] else "")
+        )
+        return 0
+    # stats
+    store = open_store(args.store_path, namespace=args.namespace)
+    entries = store.load()
+    times = [t for t in store.row_times.values() if t > 0]
+    payload = {
+        "store": args.store_path,
+        "entries": len(entries),
+        "load_errors": store.load_errors,
+        "oldest_priced_at": min(times) if times else None,
+        "newest_priced_at": max(times) if times else None,
+        "unstamped_rows": len(entries) - len(times),
+    }
+    store.close()
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
+# ------------------------------------------------------------------------------ main
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__.splitlines()[0]
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, several in (("run", False), ("sweep", True)):
+        cmd = sub.add_parser(
+            name,
+            help=(
+                "run a JSON array of specs on one shared session"
+                if several
+                else "run one experiment spec"
+            ),
+        )
+        cmd.add_argument(
+            "--spec", metavar="JSON",
+            help="spec file (object%s)" % (" or array" if several else ""),
+            required=several,
+        )
+        if not several:
+            cmd.add_argument("--kind", choices=KINDS, default="scheduler")
+            cmd.add_argument(
+                "--wafer", default=None,
+                help=f"wafer name ({', '.join(wafer_names())}) — dse builds its own",
+            )
+            cmd.add_argument(
+                "--workload", default=None,
+                help="workload name ('tiny' or any model-zoo model)",
+            )
+            cmd.add_argument("--max-tp", type=int, default=0)
+            cmd.add_argument("--population", type=int, default=16, help="GA population")
+            cmd.add_argument("--generations", type=int, default=30, help="GA generations")
+            cmd.add_argument("--seed", type=int, default=0, help="GA RNG seed")
+            cmd.add_argument(
+                "--nest", choices=("points", "inner"), default="points",
+                help="watos: which loop level the pool accelerates",
+            )
+        add_session_arguments(cmd)
+        cmd.add_argument(
+            "--json", metavar="OUT", default=None,
+            help="write the RunResult summary as JSON ('-' for stdout)",
+        )
+        cmd.set_defaults(func=_cmd_run)
+
+    cache = sub.add_parser("cache", help="inspect / compact persistent cache stores")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    for cache_cmd in ("stats", "compact"):
+        c = cache_sub.add_parser(cache_cmd)
+        c.add_argument("store_path", help="path of the store (.jsonl, .sqlite, .db)")
+        c.add_argument("--namespace", default=None,
+                       help="override the fingerprint namespace")
+        if cache_cmd == "compact":
+            c.add_argument("--max-entries", type=int, default=None,
+                           help="evict down to this many entries (newest kept)")
+            c.add_argument("--max-age", type=float, default=None, metavar="SECONDS",
+                           help="evict rows priced longer than this many seconds ago")
+        c.set_defaults(func=_cmd_cache)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

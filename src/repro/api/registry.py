@@ -1,0 +1,189 @@
+"""Named wafers and workloads for declarative :class:`~repro.api.ExperimentSpec`s.
+
+A spec loaded from JSON refers to hardware and workloads by *name*; this module is
+the table those names resolve against.  It ships with the Table II wafer presets
+(``config1`` … ``config4``), a ``tiny`` wafer/workload pair sized so a full
+co-exploration completes in about a second (the CI smoke spec, and the same shapes
+the throughput benchmarks have always used — the names and dataclasses are identical,
+so evaluation fingerprints and persisted stores stay compatible), and every model in
+the model zoo (``llama2-30b`` etc., with overridable batching).
+
+``register_wafer`` / ``register_workload`` extend the table at runtime for custom
+hardware or workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Union
+
+from repro.hardware.configs import (
+    wafer_config1,
+    wafer_config2,
+    wafer_config3,
+    wafer_config4,
+)
+from repro.hardware.template import (
+    ComputeDieConfig,
+    CoreConfig,
+    DieConfig,
+    DramChipletConfig,
+    WaferConfig,
+)
+from repro.units import GB, tbps, tflops
+from repro.workloads.models import MODEL_ZOO, ModelConfig, ModelFamily, get_model
+from repro.workloads.workload import TrainingWorkload
+
+__all__ = [
+    "register_wafer",
+    "register_workload",
+    "resolve_wafer",
+    "resolve_workload",
+    "tiny_wafer",
+    "tiny_workload",
+    "wafer_names",
+    "workload_names",
+]
+
+
+# ---------------------------------------------------------------------- tiny presets
+def tiny_wafer(dram_gb: float = 1.0) -> WaferConfig:
+    """A small 4×4 wafer whose tight per-die DRAM forces recomputation/balancing."""
+    compute = ComputeDieConfig(
+        core_rows=8,
+        core_cols=8,
+        core=CoreConfig(flops_fp16=tflops(1.0)),
+        width_mm=12.0,
+        height_mm=12.0,
+        edge_io_bandwidth=tbps(6.0),
+    )
+    chiplet = DramChipletConfig(
+        capacity_bytes=dram_gb * GB / 4,
+        bandwidth=tbps(1.0) / 4,
+        interface_bandwidth=tbps(1.0) / 4,
+        width_mm=3.0,
+        height_mm=6.0,
+    )
+    die = DieConfig(
+        compute=compute,
+        dram_chiplet=chiplet,
+        num_dram_chiplets=4,
+        d2d_bandwidth=tbps(2.0),
+    )
+    return WaferConfig(
+        name="bench-wafer",
+        dies_x=4,
+        dies_y=4,
+        die=die,
+        wafer_width_mm=100.0,
+        wafer_height_mm=100.0,
+    )
+
+
+def tiny_model() -> ModelConfig:
+    """A toy transformer whose heavy micro-batch makes checkpoints dominate memory."""
+    return ModelConfig(
+        name="bench-transformer",
+        family=ModelFamily.TRANSFORMER,
+        num_layers=8,
+        hidden_size=512,
+        num_heads=8,
+        num_kv_heads=8,
+        ffn_hidden=1408,
+        vocab_size=8000,
+        default_seq_len=512,
+        gated_mlp=True,
+    )
+
+
+def tiny_workload() -> TrainingWorkload:
+    return TrainingWorkload(
+        tiny_model(), global_batch_size=32, micro_batch_size=8, sequence_length=2048
+    )
+
+
+# ------------------------------------------------------------------------- registries
+_WAFERS: Dict[str, Callable[[], WaferConfig]] = {
+    "config1": wafer_config1,
+    "config2": wafer_config2,
+    "config3": wafer_config3,
+    "config4": wafer_config4,
+    "tiny": tiny_wafer,
+}
+
+_WORKLOADS: Dict[str, Callable[[], TrainingWorkload]] = {
+    "tiny": tiny_workload,
+}
+
+#: Batching applied when a workload is named by bare model-zoo name in a spec.
+DEFAULT_BATCHING = {"global_batch_size": 128, "micro_batch_size": 4, "sequence_length": 4096}
+
+
+def register_wafer(name: str, factory: Union[WaferConfig, Callable[[], WaferConfig]]) -> None:
+    """Register a wafer under ``name`` (a config object or a zero-arg factory)."""
+    _WAFERS[name] = factory if callable(factory) else (lambda config=factory: config)
+
+
+def register_workload(
+    name: str, factory: Union[TrainingWorkload, Callable[[], TrainingWorkload]]
+) -> None:
+    """Register a workload under ``name`` (an object or a zero-arg factory)."""
+    _WORKLOADS[name] = factory if callable(factory) else (lambda workload=factory: workload)
+
+
+def wafer_names() -> List[str]:
+    return sorted(_WAFERS)
+
+
+def workload_names() -> List[str]:
+    """Registered workload names; model-zoo names resolve too (default batching)."""
+    return sorted(set(_WORKLOADS) | set(MODEL_ZOO))
+
+
+def resolve_wafer(wafer: Union[str, WaferConfig]) -> WaferConfig:
+    """A spec's wafer reference → a :class:`WaferConfig` (names hit the registry)."""
+    if isinstance(wafer, WaferConfig):
+        return wafer
+    factory = _WAFERS.get(str(wafer))
+    if factory is None:
+        raise KeyError(
+            f"unknown wafer {wafer!r}; registered: {', '.join(wafer_names())} "
+            "(register_wafer adds more)"
+        )
+    return factory()
+
+
+def resolve_workload(
+    workload: Union[str, Mapping, TrainingWorkload],
+) -> TrainingWorkload:
+    """A spec's workload reference → a :class:`TrainingWorkload`.
+
+    Accepts a ready workload, a registered name, a model-zoo name (with
+    :data:`DEFAULT_BATCHING`), or a mapping ``{"model": name, "global_batch_size":
+    …, "micro_batch_size": …, "sequence_length": …}``.
+    """
+    if isinstance(workload, TrainingWorkload):
+        return workload
+    if isinstance(workload, Mapping):
+        spec = dict(workload)
+        model_name = spec.pop("model", None)
+        if model_name is None:
+            raise KeyError("workload mapping needs a 'model' key")
+        model = tiny_model() if model_name == "tiny" else get_model(model_name)
+        batching = {**DEFAULT_BATCHING, **spec}
+        return TrainingWorkload(
+            model,
+            global_batch_size=int(batching["global_batch_size"]),
+            micro_batch_size=int(batching["micro_batch_size"]),
+            sequence_length=int(batching["sequence_length"]),
+        )
+    name = str(workload)
+    factory = _WORKLOADS.get(name)
+    if factory is not None:
+        return factory()
+    if name in MODEL_ZOO:
+        return resolve_workload({"model": name})
+    raise KeyError(
+        f"unknown workload {name!r}; registered: {', '.join(sorted(_WORKLOADS))}, "
+        "plus any model-zoo name (default batching) or a "
+        "{'model': …, 'global_batch_size': …} mapping"
+    )

@@ -1,0 +1,80 @@
+"""Uniform result object returned by :meth:`repro.api.Session.run`.
+
+Every search kind — scheduler, GA, DSE, Watos — produces the same shape: the best
+plan (when the kind has one), its evaluation, a flat metrics dict, the session cache
+counters for the run, and wall-clock timings.  Kind-specific payloads (exploration
+records, GA outcome, DSE points, the full :class:`WatosResult`) ride along in
+:attr:`details` for callers that want more than the summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.core.evaluator import EvaluationResult
+from repro.core.plan import TrainingPlan
+
+__all__ = ["RunResult"]
+
+
+@dataclass
+class RunResult:
+    """What one :meth:`Session.run` produced."""
+
+    kind: str
+    #: Best training plan found (``None`` for kinds without a single plan, or when
+    #: everything was infeasible).
+    plan: Optional[TrainingPlan] = None
+    #: Evaluation of :attr:`plan` (same caveats).
+    result: Optional[EvaluationResult] = None
+    #: Flat, JSON-ready summary numbers (throughput, best_fitness, point counts…).
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    #: Session cache counters *after* the run (cumulative for the session).
+    cache_stats: Dict[str, float] = field(default_factory=dict)
+    #: Wall-clock seconds for the run.
+    seconds: float = 0.0
+    #: Kind-specific payload: exploration records, GAResult, DSE points, WatosResult.
+    details: Any = None
+    #: Label of the spec that produced this (``spec.name`` or the kind).
+    label: str = ""
+
+    def __bool__(self) -> bool:
+        """Non-empty means the run actually produced something usable."""
+        return self.plan is not None or self.details is not None
+
+    @property
+    def throughput(self) -> float:
+        if self.result is not None:
+            return self.result.throughput
+        return float(self.metrics.get("throughput", 0.0))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-compatible summary (plans are reduced to their labels)."""
+        return {
+            "kind": self.kind,
+            "label": self.label,
+            "plan": self.plan.label() if self.plan is not None else None,
+            "oom": self.result.oom if self.result is not None else None,
+            "metrics": dict(self.metrics),
+            "cache_stats": dict(self.cache_stats),
+            "seconds": self.seconds,
+        }
+
+    def summary(self) -> str:
+        """One human line for CLI output."""
+        bits = [self.label or self.kind]
+        if self.plan is not None:
+            bits.append(self.plan.label())
+        if self.result is not None:
+            bits.append(f"{self.result.throughput / 1e12:.1f} TFLOPS")
+        for key in ("best_fitness", "best_objective", "points", "records", "outcomes"):
+            if key in self.metrics:
+                value = self.metrics[key]
+                formatted = f"{value:.4g}" if isinstance(value, float) else str(value)
+                bits.append(f"{key}={formatted}")
+        hit_rate = self.cache_stats.get("hit_rate")
+        if hit_rate is not None:
+            bits.append(f"hit_rate={hit_rate:.1%}")
+        bits.append(f"{self.seconds:.2f}s")
+        return "  ".join(bits)

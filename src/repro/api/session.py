@@ -1,0 +1,348 @@
+"""The unified runtime: one object owning pools, caches and every search loop.
+
+The paper's workflow is one pipeline — workload × wafer → plan search → DSE — and
+:class:`Session` is its one entry point.  A session owns
+
+* the process :class:`~repro.core.parallel_map.WorkerPool` (forked lazily, shared by
+  every loop the session runs, joined on exit),
+* the shared :class:`~repro.core.evalcache.EvaluationCache` (optionally persistent,
+  read-through, compacted on exit), and
+* the wafer/workload registry declarative specs resolve against.
+
+``Session.run(spec)`` executes an :class:`~repro.api.ExperimentSpec` on any of the
+four search loops and returns a uniform :class:`~repro.api.RunResult`; entering the
+session (``with Session(...):``) additionally makes it *ambient*, so legacy-style
+bare loop calls inside the block share its pool and cache instead of building
+ephemeral ones.  :func:`default_session` parks one process-wide session for scripts
+that want sharing without a ``with`` block.
+
+Everything a session does is pure orchestration — pool pricing is memoization, cache
+warm starts round-trip exactly — so ``Session.run`` is bit-identical to the legacy
+direct-call path (asserted in ``tests/test_session.py``).
+"""
+
+from __future__ import annotations
+
+import atexit
+import time
+from typing import Any, Dict, List, Optional, Union
+
+from repro.core import runtime
+from repro.core.central_scheduler import CentralScheduler
+from repro.core.evalcache import EvaluationCache
+from repro.core.evaluator import Evaluator
+from repro.core.framework import Watos
+from repro.core.genetic import GeneticOptimizer
+from repro.core.hardware_dse import DieGranularityDse
+from repro.core.parallel_map import WorkerPool, resolve_workers
+from repro.api import registry
+from repro.api.result import RunResult
+from repro.api.spec import ExperimentSpec
+
+__all__ = ["Session", "close_default_session", "default_session"]
+
+
+class Session:
+    """Owns the worker pool, the evaluation cache and the experiment registry.
+
+    Parameters
+    ----------
+    workers:
+        Pool size shared by every loop this session runs.  ``None``/0/1 means
+        serial, negative means all CPUs.  The pool is forked lazily on first use
+        and joined when the session closes.
+    cache / store:
+        Either an existing :class:`EvaluationCache` to adopt (flushed but not
+        closed on exit — the caller owns it), or a store path (``.jsonl`` /
+        ``.sqlite``) the session opens (and closes) itself.  With neither, the
+        session builds a fresh in-memory cache.
+    read_through / max_entries / namespace:
+        Forwarded to :class:`EvaluationCache` when the session builds it.
+    compact_on_exit / compact_max_entries / compact_max_age_s:
+        When set, :meth:`close` compacts the attached store (fold append-only
+        history to one row per key; optionally evict by count and by age).
+    """
+
+    def __init__(
+        self,
+        workers: Optional[Union[int, WorkerPool]] = None,
+        cache: Optional[EvaluationCache] = None,
+        store: Optional[str] = None,
+        *,
+        read_through: bool = False,
+        max_entries: Optional[int] = 65536,
+        namespace: Optional[str] = None,
+        compact_on_exit: bool = False,
+        compact_max_entries: Optional[int] = None,
+        compact_max_age_s: Optional[float] = None,
+    ) -> None:
+        if cache is not None and store is not None:
+            raise ValueError("pass either cache= (adopted) or store= (owned), not both")
+        self._owns_cache = cache is None
+        self.cache: EvaluationCache = (
+            cache
+            if cache is not None
+            else EvaluationCache(
+                max_entries=max_entries,
+                store=store,
+                namespace=namespace,
+                read_through=read_through,
+            )
+        )
+        self._adopted_pool = isinstance(workers, WorkerPool)
+        self._pool: Optional[WorkerPool] = workers if self._adopted_pool else None
+        self.workers: int = (
+            workers.workers if self._adopted_pool else resolve_workers(workers)
+        )
+        self.compact_on_exit = (
+            compact_on_exit or compact_max_entries is not None or compact_max_age_s is not None
+        )
+        self.compact_max_entries = compact_max_entries
+        self.compact_max_age_s = compact_max_age_s
+        self._closed = False
+
+    # ------------------------------------------------------------------ pool/cache
+    @property
+    def pool(self) -> Optional[WorkerPool]:
+        """The session's persistent worker pool (``None`` when the session is serial).
+
+        Forked on first access, bound to the session cache, reused by every loop the
+        session runs — nested sweeps borrow these workers instead of building
+        ephemeral pools.
+        """
+        if self._closed or self.workers <= 1:
+            return None
+        if self._pool is None:
+            self._pool = WorkerPool(self.workers, cache=self.cache)
+        return self._pool
+
+    @property
+    def parallel(self) -> Optional[WorkerPool]:
+        """What loops pass to the runtime layer (the session protocol attribute)."""
+        return self.pool
+
+    # ------------------------------------------------------------------ lifecycle
+    def close(self) -> None:
+        """Join the pool, flush (and optionally compact) the store.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        runtime.pop_session(self)
+        if self._pool is not None and not self._adopted_pool:
+            self._pool.close()
+        self.cache.flush()
+        if self.compact_on_exit and self.cache.store is not None:
+            self.cache.compact(
+                max_entries=self.compact_max_entries, max_age_s=self.compact_max_age_s
+            )
+        if self._owns_cache:
+            self.cache.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "Session":
+        if self._closed:
+            raise RuntimeError("session is closed")
+        runtime.push_session(self)
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __reduce__(self):
+        raise TypeError("Session is process-local and cannot be pickled")
+
+    # ------------------------------------------------------------------ registry
+    @staticmethod
+    def register_wafer(name: str, factory) -> None:
+        registry.register_wafer(name, factory)
+
+    @staticmethod
+    def register_workload(name: str, factory) -> None:
+        registry.register_workload(name, factory)
+
+    # ------------------------------------------------------------------ execution
+    def run(self, spec: Union[ExperimentSpec, Dict]) -> RunResult:
+        """Execute one experiment spec and return a uniform :class:`RunResult`.
+
+        Bit-identical to wiring the loop up by hand: the session only supplies the
+        shared cache and pool, and both are pure memoization/transport.  The cache
+        is flushed to its store (when one is attached) before returning.
+        """
+        if self._closed:
+            raise RuntimeError("session is closed")
+        if isinstance(spec, dict):
+            spec = ExperimentSpec.from_dict(spec)
+        runner = {
+            "scheduler": self._run_scheduler,
+            "ga": self._run_ga,
+            "dse": self._run_dse,
+            "watos": self._run_watos,
+        }[spec.kind]
+        start = time.perf_counter()
+        run_result = runner(spec)
+        run_result.seconds = time.perf_counter() - start
+        run_result.label = spec.name or spec.kind
+        run_result.cache_stats = self.cache.stats.as_dict()
+        self.cache.flush()
+        return run_result
+
+    def sweep(self, specs) -> List[RunResult]:
+        """Run several specs on this one session (shared pool, shared warm cache)."""
+        return [self.run(spec) for spec in specs]
+
+    def _spec_parallel(self, spec: ExperimentSpec):
+        """The parallelism a spec runs with: the session pool, else the spec's hint."""
+        pool = self.pool
+        if pool is not None:
+            return pool
+        return spec.workers
+
+    def _handle(self, spec: ExperimentSpec) -> runtime.SessionHandle:
+        """A session handle carrying this session's cache and the spec's parallelism."""
+        return runtime.SessionHandle(cache=self.cache, parallel=self._spec_parallel(spec))
+
+    def _scheduler(self, spec: ExperimentSpec, wafer, evaluator=None) -> CentralScheduler:
+        kwargs: Dict[str, Any] = {"max_tp": spec.max_tp}
+        split = spec.resolved_split_strategies()
+        if split is not None:
+            kwargs["split_strategies"] = split
+        collective = spec.resolved_collective()
+        if collective is not None:
+            kwargs["collective"] = collective
+        if evaluator is None:
+            evaluator = Evaluator(wafer, cache=self.cache)
+        return CentralScheduler(wafer, evaluator=evaluator, **kwargs)
+
+    def _run_scheduler(self, spec: ExperimentSpec) -> RunResult:
+        wafer = registry.resolve_wafer(spec.wafer_refs()[0])
+        workload = registry.resolve_workload(spec.workload_refs()[0])
+        scheduler = self._scheduler(spec, wafer)
+        records = scheduler.explore(workload, session=self._handle(spec))
+        feasible = [r for r in records if not r.result.oom]
+        best = max(feasible, key=lambda r: r.throughput) if feasible else None
+        return RunResult(
+            kind=spec.kind,
+            plan=best.plan if best else None,
+            result=best.result if best else None,
+            metrics={
+                "records": len(records),
+                "feasible": len(feasible),
+                "throughput": best.result.throughput if best else 0.0,
+                "iteration_time": best.result.iteration_time if best else float("inf"),
+            },
+            details=records,
+        )
+
+    def _run_ga(self, spec: ExperimentSpec) -> RunResult:
+        wafer = registry.resolve_wafer(spec.wafer_refs()[0])
+        workload = registry.resolve_workload(spec.workload_refs()[0])
+        evaluator = Evaluator(wafer, cache=self.cache)
+        scheduler = self._scheduler(spec, wafer, evaluator=evaluator)
+        seed = scheduler.best(workload, session=self._handle(spec))
+        if seed is None:
+            return RunResult(kind=spec.kind, metrics={"feasible": 0, "throughput": 0.0})
+        ga = GeneticOptimizer(evaluator, workload, spec.ga_config())
+        outcome = ga.optimize(seed.plan, session=self._handle(spec))
+        return RunResult(
+            kind=spec.kind,
+            plan=outcome.best_plan,
+            result=outcome.best_result,
+            metrics={
+                "best_fitness": outcome.best_fitness,
+                "throughput": outcome.best_result.throughput,
+                "generations": outcome.generations,
+                "seed_throughput": seed.result.throughput,
+            },
+            details=outcome,
+        )
+
+    def _run_dse(self, spec: ExperimentSpec) -> RunResult:
+        workload = registry.resolve_workload(spec.workload_refs()[0])
+        dse = DieGranularityDse(
+            workload,
+            areas_mm2=tuple(spec.areas_mm2),
+            aspect_ratios=tuple(spec.aspect_ratios),
+            session=self,
+        )
+        points = dse.sweep(
+            max_tp=spec.max_tp or 8, session=self._handle(spec)
+        )
+        best = DieGranularityDse.best_point(points) if points else None
+        metrics: Dict[str, Any] = {"points": len(points)}
+        if best is not None:
+            metrics.update(
+                best_design=best.name,
+                best_objective=best.objective,
+                best_category=best.category,
+            )
+        return RunResult(kind=spec.kind, metrics=metrics, details=points)
+
+    def _run_watos(self, spec: ExperimentSpec) -> RunResult:
+        wafers = [registry.resolve_wafer(ref) for ref in spec.wafer_refs()]
+        workloads = [registry.resolve_workload(ref) for ref in spec.workload_refs()]
+        kwargs: Dict[str, Any] = {"max_tp": spec.max_tp, "use_ga": spec.use_ga}
+        split = spec.resolved_split_strategies()
+        if split is not None:
+            kwargs["split_strategies"] = split
+        collective = spec.resolved_collective()
+        if collective is not None:
+            kwargs["collective"] = collective
+        watos = Watos(
+            candidates=wafers, ga_config=spec.ga_config(), session=self, **kwargs
+        )
+        result = watos.explore(workloads, session=self._handle(spec), nest=spec.nest)
+        best_wafer = result.best_wafer()
+        best = None
+        for outcome in result.outcomes:
+            if best is None or outcome.throughput > best.throughput:
+                best = outcome
+        metrics: Dict[str, Any] = {
+            "outcomes": len(result.outcomes),
+            "best_wafer": best_wafer,
+            "throughput": best.throughput if best else 0.0,
+        }
+        return RunResult(
+            kind=spec.kind,
+            plan=best.plan if best else None,
+            result=best.result if best else None,
+            metrics=metrics,
+            details=result,
+        )
+
+    # ------------------------------------------------------------------ default
+    @classmethod
+    def default(cls, workers: Optional[int] = None, **kwargs: Any) -> "Session":
+        """The process-wide default session (see :func:`default_session`)."""
+        return default_session(workers, **kwargs)
+
+
+def default_session(workers: Optional[int] = None, **kwargs: Any) -> Session:
+    """The process-wide shared session, created on first call.
+
+    Later calls return the same object (arguments are ignored once it exists), so
+    library code and scripts can say ``default_session().run(spec)`` — or configure
+    workers once (``default_session(workers=8)``) and have every bare loop call in
+    the process share that pool instead of building ephemeral ones.  The session is
+    closed automatically at interpreter exit (joining the pool and flushing any
+    store); :func:`close_default_session` closes it earlier.
+    """
+    existing = runtime.get_default_session()
+    if existing is not None and not existing.closed:
+        return existing
+    session = Session(workers, **kwargs)
+    runtime.set_default_session(session)
+    return session
+
+
+def close_default_session() -> None:
+    """Close and discard the process-wide default session (no-op without one)."""
+    existing = runtime.get_default_session()
+    if existing is not None:
+        existing.close()
+    runtime.set_default_session(None)
+
+
+atexit.register(close_default_session)

@@ -19,6 +19,7 @@ from repro.core.parallel_map import WorkerPool
 from repro.core.placement import PlacementOptimizer, serpentine_placement
 from repro.core.plan import RecomputeConfig, TrainingPlan
 from repro.core.recomputation import GcmrScheduler
+from repro.core.runtime import resolve_loop_session
 from repro.hardware.template import WaferConfig
 from repro.interconnect.collectives import CollectiveAlgorithm
 from repro.interconnect.topology import MeshTopology
@@ -46,10 +47,14 @@ class CentralScheduler:
 
     wafer: WaferConfig
     evaluator: Optional[Evaluator] = None
-    #: Shared evaluation cache used when no explicit ``evaluator`` is supplied, so DSE
-    #: sweeps that build one scheduler per design point still reuse (and persist) one
-    #: content-addressed result store instead of starting cold every time.
+    #: Shared evaluation cache used when no explicit ``evaluator`` is supplied.
+    #: Deprecated in favour of ``session=`` — a :class:`repro.api.Session` supplies
+    #: both the cache and the worker pool; the kwarg remains as a one-warning shim.
     cache: Optional[EvaluationCache] = None
+    #: The owning :class:`repro.api.Session` (or any object with ``.cache`` /
+    #: ``.parallel``).  When neither it nor ``cache``/``evaluator`` is given, the
+    #: ambient session (``with Session(...):`` / ``default_session()``) is used.
+    session: Optional[object] = None
     collective: CollectiveAlgorithm = CollectiveAlgorithm.BIDIRECTIONAL_RING
     #: Collective algorithms the TP engine is allowed to explore (§IV-E-1: "can also be
     #: configured to explore other intra-stage communication mechanisms").
@@ -62,8 +67,16 @@ class CentralScheduler:
     optimize_placement: bool = True
 
     def __post_init__(self) -> None:
+        resolved = resolve_loop_session(
+            self.session,
+            cache=self.cache if self.evaluator is None else None,
+            api="CentralScheduler(cache=)",
+        )
+        if self.session is None:
+            self.session = resolved
         if self.evaluator is None:
-            self.evaluator = Evaluator(self.wafer, cache=self.cache)
+            cache = resolved.cache if resolved is not None else None
+            self.evaluator = Evaluator(self.wafer, cache=cache)
         self._gcmr = GcmrScheduler(self.wafer)
         self._mesh = MeshTopology.from_wafer(self.wafer)
 
@@ -160,14 +173,23 @@ class CentralScheduler:
         workload: TrainingWorkload,
         model_parallel_dies: Optional[int] = None,
         parallel: Union[int, WorkerPool, None] = None,
+        session=None,
     ) -> List[ExplorationRecord]:
         """Evaluate every surviving (TP, PP, split-strategy) candidate.
 
-        ``parallel`` prices the surviving candidates on a worker pool — a persistent
-        :class:`WorkerPool` or an integer for an ephemeral one (negative = all CPUs);
-        candidate construction and result order are unchanged, so the records match
-        the serial run exactly.
+        ``session`` supplies the worker pool the surviving candidates are priced on
+        (defaulting to the scheduler's own session, then the ambient one); candidate
+        construction and result order are unchanged, so the records match the serial
+        run exactly.  ``parallel`` is the deprecated spelling (a :class:`WorkerPool`
+        or an integer for an ephemeral pool, negative = all CPUs); it warns once.
         """
+        resolved = resolve_loop_session(
+            session,
+            parallel=parallel,
+            api="CentralScheduler.explore(parallel=)",
+            fallback=self.session,
+        )
+        parallel = resolved.parallel if resolved is not None else None
         mp = model_parallel_dies or self.wafer.num_dies
         if mp > self.wafer.num_dies:
             raise ValueError("model-parallel dies exceed the wafer's die count")
@@ -192,11 +214,14 @@ class CentralScheduler:
         workload: TrainingWorkload,
         model_parallel_dies: Optional[int] = None,
         parallel: Union[int, WorkerPool, None] = None,
+        session=None,
     ) -> Optional[ExplorationRecord]:
         """The highest-throughput record, or ``None`` when everything was pruned."""
         records = [
             record
-            for record in self.explore(workload, model_parallel_dies, parallel=parallel)
+            for record in self.explore(
+                workload, model_parallel_dies, parallel=parallel, session=session
+            )
             if not record.result.oom
         ]
         if not records:

@@ -49,6 +49,7 @@ import json
 import os
 import sqlite3
 import tempfile
+import time
 from collections import OrderedDict
 from dataclasses import fields, is_dataclass
 from typing import Any, Dict, List, Mapping, Optional, Tuple
@@ -243,6 +244,10 @@ class CacheStore:
     def __init__(self, path: str, namespace: Optional[str] = None) -> None:
         self.path = str(path)
         self.namespace = namespace or default_namespace()
+        #: ``priced_at`` unix timestamp per key, refreshed by :meth:`load`.  Rows
+        #: written before timestamps existed report 0.0 (treated as oldest by the
+        #: age-based eviction in :meth:`EvaluationCache.compact`).
+        self.row_times: Dict[str, float] = {}
 
     def load(self) -> Dict[str, Any]:
         """All valid entries, or ``{}`` for a missing/corrupt/foreign-namespace store."""
@@ -259,11 +264,19 @@ class CacheStore:
         because stores without point lookups are always fully loaded anyway.
         """
 
-    def append(self, entries: Mapping[str, Any]) -> None:
-        """Persist new entries (later appends with the same key win on load)."""
+    def append(
+        self, entries: Mapping[str, Any], times: Optional[Mapping[str, float]] = None
+    ) -> None:
+        """Persist new entries (later appends with the same key win on load).
+
+        ``times`` carries per-key ``priced_at`` timestamps; keys without one are
+        stamped with the current time.
+        """
         raise NotImplementedError
 
-    def replace_all(self, entries: Mapping[str, Any]) -> None:
+    def replace_all(
+        self, entries: Mapping[str, Any], times: Optional[Mapping[str, float]] = None
+    ) -> None:
         """Atomically rewrite the store to exactly ``entries`` (compaction)."""
         raise NotImplementedError
 
@@ -305,6 +318,7 @@ class JsonlCacheStore(CacheStore):
     def load(self) -> Dict[str, Any]:
         self.load_errors = 0
         self._foreign_file = False
+        self.row_times = {}
         if not os.path.exists(self.path):
             return {}
         entries: Dict[str, Any] = {}
@@ -332,6 +346,8 @@ class JsonlCacheStore(CacheStore):
                         # must rank as newest for compact(max_entries=) eviction.
                         entries.pop(key, None)
                         entries[key] = value
+                        # Pre-timestamp rows report 0.0 (oldest) to age eviction.
+                        self.row_times[key] = float(row.get("t", 0.0))
                     except (ValueError, KeyError, TypeError, AttributeError, ImportError):
                         self.load_errors += 1
         except OSError:
@@ -350,30 +366,44 @@ class JsonlCacheStore(CacheStore):
     def _header(self) -> str:
         return json.dumps({"format": self._HEADER_FORMAT, "namespace": self.namespace})
 
-    def append(self, entries: Mapping[str, Any]) -> None:
+    @staticmethod
+    def _row(key: str, value: Any, priced_at: float) -> str:
+        return json.dumps({"k": key, "v": encode_value(value), "t": priced_at})
+
+    def append(
+        self, entries: Mapping[str, Any], times: Optional[Mapping[str, float]] = None
+    ) -> None:
         if not entries:
             return
         if self._foreign_file:
             _move_aside(self.path)
             self._foreign_file = False
+        now = time.time()
+        times = times or {}
         fresh = not os.path.exists(self.path)
         with open(self.path, "a", encoding="utf-8") as handle:
             if fresh:
                 handle.write(self._header() + "\n")
             for key, value in entries.items():
-                handle.write(json.dumps({"k": key, "v": encode_value(value)}) + "\n")
+                priced = times.get(key)
+                handle.write(self._row(key, value, now if priced is None else priced) + "\n")
 
-    def replace_all(self, entries: Mapping[str, Any]) -> None:
+    def replace_all(
+        self, entries: Mapping[str, Any], times: Optional[Mapping[str, float]] = None
+    ) -> None:
         if self._foreign_file:
             _move_aside(self.path)
             self._foreign_file = False
+        now = time.time()
+        times = times or {}
         directory = os.path.dirname(os.path.abspath(self.path))
         fd, tmp_path = tempfile.mkstemp(prefix=".evalcache-", dir=directory)
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 handle.write(self._header() + "\n")
                 for key, value in entries.items():
-                    handle.write(json.dumps({"k": key, "v": encode_value(value)}) + "\n")
+                    priced = times.get(key)
+                    handle.write(self._row(key, value, now if priced is None else priced) + "\n")
             os.replace(tmp_path, self.path)
         except BaseException:
             if os.path.exists(tmp_path):
@@ -398,8 +428,18 @@ class SqliteCacheStore(CacheStore):
                 "CREATE TABLE IF NOT EXISTS meta (key TEXT PRIMARY KEY, value TEXT)"
             )
             self._conn.execute(
-                "CREATE TABLE IF NOT EXISTS entries (key TEXT PRIMARY KEY, value TEXT)"
+                "CREATE TABLE IF NOT EXISTS entries "
+                "(key TEXT PRIMARY KEY, value TEXT, priced_at REAL DEFAULT 0)"
             )
+            # Stores written before timestamps existed lack the column; migrate in
+            # place (their rows report priced_at 0 — oldest — to age eviction).
+            columns = {
+                row[1] for row in self._conn.execute("PRAGMA table_info(entries)")
+            }
+            if "priced_at" not in columns:
+                self._conn.execute(
+                    "ALTER TABLE entries ADD COLUMN priced_at REAL DEFAULT 0"
+                )
             self._conn.commit()
         return self._conn
 
@@ -422,6 +462,7 @@ class SqliteCacheStore(CacheStore):
     # ------------------------------------------------------------------ CacheStore
     def load(self) -> Dict[str, Any]:
         self.load_errors = 0
+        self.row_times = {}
         if not os.path.exists(self.path):
             return {}
         try:
@@ -434,14 +475,15 @@ class SqliteCacheStore(CacheStore):
                 )
                 conn.commit()
                 return {}
-            rows = conn.execute("SELECT key, value FROM entries").fetchall()
+            rows = conn.execute("SELECT key, value, priced_at FROM entries").fetchall()
         except sqlite3.DatabaseError:
             self._reset()
             return {}
         entries: Dict[str, Any] = {}
-        for key, blob in rows:
+        for key, blob, priced_at in rows:
             try:
                 entries[str(key)] = decode_value(json.loads(blob))
+                self.row_times[str(key)] = float(priced_at or 0.0)
             except (ValueError, KeyError, TypeError, AttributeError, ImportError):
                 self.load_errors += 1
         return entries
@@ -478,7 +520,9 @@ class SqliteCacheStore(CacheStore):
             self.load_errors += 1
             return None
 
-    def append(self, entries: Mapping[str, Any]) -> None:
+    def append(
+        self, entries: Mapping[str, Any], times: Optional[Mapping[str, float]] = None
+    ) -> None:
         if not entries:
             return
         try:
@@ -486,16 +530,27 @@ class SqliteCacheStore(CacheStore):
         except sqlite3.DatabaseError:
             self._reset()
             conn = self._connect()
+        now = time.time()
+        times = times or {}
         conn.execute(
             "INSERT OR REPLACE INTO meta VALUES ('namespace', ?)", (self.namespace,)
         )
         conn.executemany(
-            "INSERT OR REPLACE INTO entries VALUES (?, ?)",
-            [(key, json.dumps(encode_value(value))) for key, value in entries.items()],
+            "INSERT OR REPLACE INTO entries VALUES (?, ?, ?)",
+            [
+                (
+                    key,
+                    json.dumps(encode_value(value)),
+                    now if times.get(key) is None else times[key],
+                )
+                for key, value in entries.items()
+            ],
         )
         conn.commit()
 
-    def replace_all(self, entries: Mapping[str, Any]) -> None:
+    def replace_all(
+        self, entries: Mapping[str, Any], times: Optional[Mapping[str, float]] = None
+    ) -> None:
         try:
             conn = self._connect()
         except sqlite3.DatabaseError:
@@ -506,7 +561,7 @@ class SqliteCacheStore(CacheStore):
             "INSERT OR REPLACE INTO meta VALUES ('namespace', ?)", (self.namespace,)
         )
         conn.commit()
-        self.append(entries)
+        self.append(entries, times)
 
     def close(self) -> None:
         if self._conn is not None:
@@ -612,6 +667,9 @@ class EvaluationCache:
         self._entry_seq: Dict[str, int] = {}
         self._log_seqs: List[int] = []
         self._log_keys: List[str] = []
+        #: ``priced_at`` unix timestamp per resident/dirty key — flushed to the store
+        #: so :meth:`compact` can expire rows by age (``max_age_s``).
+        self._priced_at: Dict[str, float] = {}
         #: Counter snapshot at the previous :meth:`take_carry` (incremental carries).
         self._carry_counts: Dict[str, float] = {}
         #: Keys priced since the previous :meth:`take_carry` — a key set, not a
@@ -630,6 +688,9 @@ class EvaluationCache:
             else:
                 loaded = self.store.load()
                 self.seed(loaded)
+                # Warm-started entries keep the timestamp of their original pricing,
+                # so repeated warm runs never rejuvenate old rows.
+                self._priced_at.update(self.store.row_times)
                 self.stats.loaded = len(loaded)
 
     # ------------------------------------------------------------------ dict protocol
@@ -671,10 +732,13 @@ class EvaluationCache:
         self._entries.move_to_end(key)
         self._dirty[key] = value
         self._unshipped.add(key)
+        self._priced_at[key] = time.time()
         self._assign_seq(key)
         if self.max_entries is not None and len(self._entries) > self.max_entries:
             evicted, _ = self._entries.popitem(last=False)
             self._entry_seq.pop(evicted, None)
+            if evicted not in self._dirty:
+                self._priced_at.pop(evicted, None)
             self.stats.evictions += 1
 
     def get_or_compute(self, key: str, compute) -> Any:
@@ -699,6 +763,7 @@ class EvaluationCache:
         self._entry_seq.clear()
         self._log_seqs.clear()
         self._log_keys.clear()
+        self._priced_at.clear()
 
     # ------------------------------------------------------------------ sequence log
     def _assign_seq(self, key: str) -> None:
@@ -852,17 +917,31 @@ class EvaluationCache:
         """Spill entries priced since the last flush to the attached store."""
         if self.store is None or not self._dirty:
             return 0
-        self.store.append(self._dirty)
+        self.store.append(
+            self._dirty, {k: self._priced_at[k] for k in self._dirty if k in self._priced_at}
+        )
         written = len(self._dirty)
         self.stats.flushed += written
         self._seeded.update(self._dirty)
         # Spilled keys can never be carried again (seeded); dropping them here
         # keeps the unshipped set bounded on parents that flush but never carry.
         self._unshipped.difference_update(self._dirty)
+        # Timestamps of spilled keys the LRU has already evicted now live in the
+        # store; dropping them keeps _priced_at bounded by the resident set on
+        # long store-backed sweeps (put() keeps dirty-but-evicted stamps alive
+        # only until this flush).
+        for key in self._dirty:
+            if key not in self._entries:
+                self._priced_at.pop(key, None)
         self._dirty.clear()
         return written
 
-    def compact(self, max_entries: Optional[int] = None) -> int:
+    def compact(
+        self,
+        max_entries: Optional[int] = None,
+        max_age_s: Optional[float] = None,
+        now: Optional[float] = None,
+    ) -> int:
         """Rewrite the attached store to exactly one row per surviving key.
 
         JSONL stores grow append-only — a re-priced or re-flushed key adds a row and
@@ -872,21 +951,35 @@ class EvaluationCache:
         freshly priced results are never lost, and they are re-appended last so the
         resident working set counts as newest.
 
-        ``max_entries`` is the size-based eviction knob: keep only the newest that
-        many entries, oldest first out (append order for JSONL; load order for
-        sqlite).  Returns the number of entries the store holds afterwards.
+        Two eviction knobs compose (age first, then size):
+
+        * ``max_age_s`` expires rows whose ``priced_at`` timestamp is older than
+          ``now - max_age_s`` (``now`` defaults to the current time).  Rows written
+          before timestamps existed carry ``priced_at`` 0 and count as infinitely
+          old — re-run the sweep once to stamp them.
+        * ``max_entries`` keeps only the newest that many entries, oldest first out
+          (append order for JSONL; load order for sqlite).
+
+        Returns the number of entries the store holds afterwards.
         """
         if self.store is None:
             return 0
         self.flush()
         entries = self.store.load()
+        times = dict(self.store.row_times)
         for key, value in self._entries.items():
             entries.pop(key, None)  # re-append so resident entries rank newest
             entries[key] = value
+            if key in self._priced_at:
+                times[key] = self._priced_at[key]
+        if max_age_s is not None:
+            cutoff = (time.time() if now is None else now) - max_age_s
+            for key in [k for k in entries if times.get(k, 0.0) < cutoff]:
+                del entries[key]
         if max_entries is not None and max_entries > 0 and len(entries) > max_entries:
             for key in list(entries)[: len(entries) - max_entries]:
                 del entries[key]
-        self.store.replace_all(entries)
+        self.store.replace_all(entries, {k: times[k] for k in entries if k in times})
         return len(entries)
 
     def close(self) -> None:

@@ -16,8 +16,14 @@ from repro.core.central_scheduler import CentralScheduler, ExplorationRecord
 from repro.core.evalcache import EvaluationCache
 from repro.core.evaluator import EvaluationResult, Evaluator
 from repro.core.genetic import GAConfig, GeneticOptimizer
-from repro.core.parallel_map import WorkerPool, parallel_map_merge, task_cache
+from repro.core.parallel_map import (
+    WorkerPool,
+    parallel_map_merge,
+    resolve_workers,
+    task_cache,
+)
 from repro.core.plan import TrainingPlan
+from repro.core.runtime import SessionHandle, resolve_loop_session
 from repro.hardware.enumerator import ArchitectureEnumerator
 from repro.hardware.template import WaferConfig
 from repro.interconnect.collectives import CollectiveAlgorithm
@@ -98,12 +104,25 @@ class _ExplorePointTask:
         self.max_tp = watos.max_tp
 
     def __call__(self, point: Tuple[WaferConfig, TrainingWorkload]):
+        return self.price(point, cache=task_cache())
+
+    def price(self, point: Tuple[WaferConfig, TrainingWorkload], cache, inner_pool=None):
+        """Price one point; ``inner_pool`` lets the nested loops borrow a session pool.
+
+        The trajectory is pool-independent (pool pricing is pure memoization), so
+        the result is bit-identical whether the inner loops run serial, on a borrowed
+        pool, or inside an outer fan-out worker.
+        """
         wafer, workload = point
-        cache = task_cache()
         evaluator = Evaluator(wafer, cache=cache) if cache is not None else Evaluator(wafer)
+        # Always hand the nested loops an explicit session handle (possibly empty):
+        # pricing one point must be a pure function of the point, never of whatever
+        # ambient session happens to be active in the calling process.
+        inner = SessionHandle(parallel=inner_pool)
         scheduler = CentralScheduler(
             wafer,
             evaluator=evaluator,
+            session=inner,
             collective=self.collective,
             split_strategies=self.split_strategies,
             max_tp=self.max_tp,
@@ -117,7 +136,7 @@ class _ExplorePointTask:
             ga_history: Tuple[float, ...] = ()
             if self.use_ga:
                 optimizer = GeneticOptimizer(evaluator, workload, self.ga_config)
-                ga_outcome = optimizer.optimize(plan)
+                ga_outcome = optimizer.optimize(plan, session=inner)
                 if ga_outcome.best_result.throughput >= best_result.throughput:
                     plan, best_result = ga_outcome.best_plan, ga_outcome.best_result
                 ga_history = ga_outcome.history
@@ -144,6 +163,7 @@ class Watos:
         split_strategies: Sequence[TPSplitStrategy] = (TPSplitStrategy.HIDDEN,),
         max_tp: int = 0,
         cache: Optional[EvaluationCache] = None,
+        session=None,
     ) -> None:
         if candidates is None and enumerator is None:
             enumerator = ArchitectureEnumerator()
@@ -155,20 +175,35 @@ class Watos:
         self.collective = collective
         self.split_strategies = tuple(split_strategies)
         self.max_tp = max_tp
+        #: The owning :class:`repro.api.Session`; it supplies the shared cache and
+        #: worker pool.  The legacy ``cache=`` kwarg warns once and behaves as an
+        #: implicit single-knob session; without either, the ambient session is used.
+        self.session = resolve_loop_session(session, cache=cache, api="Watos(cache=)")
         #: One content-addressed cache shared by every (wafer, workload) point — the
         #: fingerprint covers the wafer, so heterogeneous candidates coexist safely.
         #: Attach a store (``EvaluationCache(store=path)``) to persist across runs.
-        self.cache = cache if cache is not None else EvaluationCache()
+        session_cache = self.session.cache if self.session is not None else None
+        self.cache = session_cache if session_cache is not None else EvaluationCache()
 
     # ------------------------------------------------------------------ single point
     def optimize(
-        self, wafer: WaferConfig, workload: TrainingWorkload
+        self, wafer: WaferConfig, workload: TrainingWorkload, session=None
     ) -> Optional[WorkloadOutcome]:
-        """Find the best training plan for one workload on one wafer."""
+        """Find the best training plan for one workload on one wafer.
+
+        With a session (explicit, the instance's own, or the ambient one) the nested
+        scheduler and GA loops borrow its worker pool; results are identical to the
+        serial run.
+        """
+        resolved = resolve_loop_session(session, fallback=self.session)
+        # Pools and integers both pass straight through to the nested loops (an
+        # integer means ephemeral pools inside them, the legacy semantics).
+        inner = SessionHandle(parallel=resolved.parallel if resolved is not None else None)
         evaluator = Evaluator(wafer, cache=self.cache)
         scheduler = CentralScheduler(
             wafer,
             evaluator=evaluator,
+            session=inner,
             collective=self.collective,
             split_strategies=self.split_strategies,
             max_tp=self.max_tp,
@@ -180,7 +215,7 @@ class Watos:
         ga_history: Tuple[float, ...] = ()
         if self.use_ga:
             optimizer = GeneticOptimizer(evaluator, workload, self.ga_config)
-            ga_result = optimizer.optimize(plan)
+            ga_result = optimizer.optimize(plan, session=inner)
             if ga_result.best_result.throughput >= result.throughput:
                 plan, result = ga_result.best_plan, ga_result.best_result
             ga_history = ga_result.history
@@ -194,22 +229,63 @@ class Watos:
         self,
         workloads: Sequence[TrainingWorkload],
         parallel: Union[int, WorkerPool, None] = None,
+        session=None,
+        nest: str = "points",
     ) -> WatosResult:
         """Run the co-exploration over every candidate wafer and every workload.
 
-        ``parallel`` fans the (wafer × workload) points out over a worker pool: pass a
-        persistent :class:`WorkerPool` to share its resident cache shards with other
-        sweeps, or an integer for an ephemeral pool (negative = all CPUs).  Worker
-        deltas are merged back in worker order and flushed to the shared cache's store
-        when one is attached, so the result *and* the cache end state are identical to
-        the serial run — which prices directly against :attr:`cache`, copying nothing.
+        ``session`` supplies the worker pool (defaulting to the Watos instance's own
+        session, then the ambient one); ``parallel`` is the deprecated spelling — a
+        persistent :class:`WorkerPool` shared with other sweeps, or an integer for an
+        ephemeral pool (negative = all CPUs) — and warns once.
+
+        ``nest`` picks which loop level the pool accelerates:
+
+        * ``"points"`` (default) — fan the (wafer × workload) points out over the
+          workers; each point's inner scheduler/GA runs serially inside its worker.
+        * ``"inner"`` — walk the points serially in this process and let the *nested*
+          loops (the central scheduler's candidate pricing, the GA's per-generation
+          scoring) borrow the pool.  Best when there are few points but deep inner
+          searches.
+
+        Both modes (and the serial run) are bit-identical: worker deltas are merged
+        back in worker order and flushed to the shared cache's store when one is
+        attached, and pricing is pure memoization — which prices directly against
+        :attr:`cache` on the serial path, copying nothing.
         """
+        if nest not in ("points", "inner"):
+            raise ValueError(f"nest must be 'points' or 'inner', not {nest!r}")
+        resolved = resolve_loop_session(
+            session,
+            parallel=parallel,
+            api="Watos.explore(parallel=)",
+            fallback=self.session,
+        )
+        parallel = resolved.parallel if resolved is not None else None
         points = [
             (wafer, workload) for wafer in self.candidates for workload in workloads
         ]
-        priced = parallel_map_merge(
-            _ExplorePointTask(self), points, parallel=parallel, cache=self.cache
-        )
+        task = _ExplorePointTask(self)
+        if nest == "inner" and resolve_workers(parallel) > 1:
+            # Outer loop serial, inner loops on the borrowed pool: every point still
+            # prices against the shared cache directly (zero copies).  An integer
+            # still means "this many workers" — it is promoted to one pool that
+            # lives for the whole explore, not an ephemeral pool per inner call.
+            if isinstance(parallel, WorkerPool):
+                priced = [
+                    task.price(point, cache=self.cache, inner_pool=parallel)
+                    for point in points
+                ]
+            else:
+                with WorkerPool(resolve_workers(parallel), cache=self.cache) as pool:
+                    priced = [
+                        task.price(point, cache=self.cache, inner_pool=pool)
+                        for point in points
+                    ]
+        else:
+            priced = parallel_map_merge(
+                task, points, parallel=parallel, cache=self.cache
+            )
         self.cache.flush()
 
         result = WatosResult()

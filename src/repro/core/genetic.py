@@ -26,6 +26,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.core.evaluator import EvaluationResult, Evaluator
 from repro.core.parallel_map import WorkerPool
+from repro.core.runtime import resolve_loop_session
 from repro.core.placement import global_cost
 from repro.core.plan import MemPair, RecomputeConfig, TrainingPlan
 from repro.workloads.workload import TrainingWorkload
@@ -235,16 +236,27 @@ class GeneticOptimizer:
 
     # ------------------------------------------------------------------ main loop
     def optimize(
-        self, seed_plan: TrainingPlan, parallel: Union[int, WorkerPool, None] = None
+        self,
+        seed_plan: TrainingPlan,
+        parallel: Union[int, WorkerPool, None] = None,
+        session=None,
     ) -> GAResult:
         """Run the GA starting from (and always retaining) the seed plan.
 
-        ``parallel`` prices each generation's unique individuals on a worker pool — a
-        persistent :class:`WorkerPool` (one fork for the whole run, resident cache
-        shards synced delta-only per generation) or an integer for an ephemeral pool
-        (negative = all CPUs); the GA trajectory — selection, best plan, fitness
-        history — is identical to the serial run for any worker count.
+        ``session`` (a :class:`repro.api.Session`) supplies the worker pool each
+        generation's unique individuals are priced on; without one, the ambient
+        session (``with Session(...):`` / ``repro.api.default_session()``) is used,
+        and without that the run is serial.  The GA trajectory — selection, best
+        plan, fitness history — is identical to the serial run for any worker count.
+
+        ``parallel`` is the deprecated spelling (a :class:`WorkerPool` or an integer
+        for an ephemeral pool, negative = all CPUs); it warns once and behaves as an
+        implicit single-knob session.
         """
+        resolved = resolve_loop_session(
+            session, parallel=parallel, api="GeneticOptimizer.optimize(parallel=)"
+        )
+        parallel = resolved.parallel if resolved is not None else None
         population: List[TrainingPlan] = [seed_plan]
         while len(population) < self.config.population_size:
             population.append(self.mutate(seed_plan))

@@ -17,6 +17,7 @@ from repro.core.central_scheduler import CentralScheduler
 from repro.core.evalcache import EvaluationCache
 from repro.core.evaluator import Evaluator
 from repro.core.parallel_map import WorkerPool, parallel_map_merge, task_cache
+from repro.core.runtime import resolve_loop_session
 from repro.hardware.area import AreaModel
 from repro.hardware.template import ComputeDieConfig, CoreConfig, DieConfig, DramChipletConfig, WaferConfig
 from repro.units import tflops
@@ -60,6 +61,7 @@ class DieGranularityDse:
         wafer_edge_mm: float = 198.32,
         compute_density_tflops_per_mm2: float = 1.28,
         cache: Optional[EvaluationCache] = None,
+        session=None,
     ) -> None:
         self.workload = workload
         self.areas = list(areas_mm2)
@@ -68,10 +70,17 @@ class DieGranularityDse:
         self.wafer_edge_mm = wafer_edge_mm
         self.compute_density = compute_density_tflops_per_mm2
         self.area_model = AreaModel()
+        #: The owning :class:`repro.api.Session`; it supplies the shared cache and
+        #: the worker pool.  The legacy ``cache=`` kwarg warns once and behaves as an
+        #: implicit single-knob session; without either, the ambient session's cache
+        #: is adopted (or none at all).
+        self.session = resolve_loop_session(
+            session, cache=cache, api="DieGranularityDse(cache=)"
+        )
         #: Shared (optionally persistent) evaluation cache: every design point's
         #: evaluator prices against it, so repeated sweeps start warm and distinct
         #: points that reduce to the same (wafer, workload, plan) share one pricing.
-        self.cache = cache
+        self.cache = self.session.cache if self.session is not None else None
 
     # ------------------------------------------------------------------ die building
     def build_die(self, area_mm2: float, aspect_ratio: float, num_dram: int = 4) -> DieConfig:
@@ -121,17 +130,28 @@ class DieGranularityDse:
 
     # ------------------------------------------------------------------ sweep
     def sweep(
-        self, max_tp: int = 8, parallel: Union[int, WorkerPool, None] = None
+        self,
+        max_tp: int = 8,
+        parallel: Union[int, WorkerPool, None] = None,
+        session=None,
     ) -> List[DieDesignPoint]:
         """Evaluate every (area, aspect ratio) design point and normalise the objective.
 
-        ``parallel`` distributes whole design points over a worker pool — a persistent
-        :class:`WorkerPool` (resident cache shards stay warm across sweeps) or an
-        integer for an ephemeral one (negative = all CPUs); point order and results
-        match the serial run.  With :attr:`cache` attached, worker deltas are merged
-        back in worker order and spilled to the cache's store (when one is attached)
-        before returning; the serial path prices directly against the shared cache.
+        ``session`` supplies the worker pool whole design points are distributed over
+        (defaulting to the DSE's own session, then the ambient one); point order and
+        results match the serial run.  With :attr:`cache` attached, worker deltas are
+        merged back in worker order and spilled to the cache's store (when one is
+        attached) before returning; the serial path prices directly against the shared
+        cache.  ``parallel`` is the deprecated spelling (a :class:`WorkerPool` or an
+        integer for an ephemeral pool, negative = all CPUs); it warns once.
         """
+        resolved = resolve_loop_session(
+            session,
+            parallel=parallel,
+            api="DieGranularityDse.sweep(parallel=)",
+            fallback=self.session,
+        )
+        parallel = resolved.parallel if resolved is not None else None
         grid = [
             (area, aspect, max_tp) for area in self.areas for aspect in self.aspect_ratios
         ]

@@ -41,6 +41,7 @@ import os
 import traceback
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar, Union
 
+from repro.core import runtime
 from repro.core.evalcache import EvaluationCache
 
 T = TypeVar("T")
@@ -101,6 +102,10 @@ def _worker_main(task_conn, result_conn) -> None:
     drop the message silently and leave the parent waiting forever.
     """
     global _ACTIVE_CACHE
+    # The fork copied the parent's session state (active stack, default session);
+    # any pool it references is unusable here, and a bare loop call inside a task
+    # must never resolve to it — nested pools would deadlock.
+    runtime.reset_for_worker()
     shard: Optional[EvaluationCache] = None
     while True:
         try:

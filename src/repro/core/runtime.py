@@ -1,0 +1,163 @@
+"""Process-wide runtime state shared by the Session API and the search loops.
+
+The :class:`~repro.api.Session` object (``src/repro/api``) owns the worker pool and
+the shared evaluation cache for a whole experiment; the four search loops — ``Watos``,
+``CentralScheduler``, ``DieGranularityDse``, ``GeneticOptimizer`` — live in
+``repro.core`` and must be importable *before* the API package exists.  This module is
+the thin, dependency-free meeting point between the two layers:
+
+* the **active-session stack** — ``with Session(...):`` pushes the session here, so
+  bare loop calls (no ``session=``, no legacy kwargs) inside the block share the
+  session's pool and cache instead of building ephemeral ones;
+* the **default session** slot — ``repro.api.default_session()`` parks the
+  process-wide session here; it is the fallback when no ``with`` block is active;
+* :class:`SessionHandle` — the minimal session protocol (``.cache`` / ``.parallel``)
+  the loops actually consume.  Legacy ``cache=`` / ``parallel=`` kwargs are wrapped
+  in one of these (after a one-time :class:`DeprecationWarning`), so loop bodies read
+  every knob from a session-shaped object no matter how they were called;
+* the **worker reset** — pool workers are forked from a parent that may hold an
+  active session whose :class:`~repro.core.parallel_map.WorkerPool` is meaningless
+  (and dangerous — nested pools) in the child.  ``parallel_map`` calls
+  :func:`reset_for_worker` at the top of every worker loop.
+
+Nothing here imports from the rest of the package, which is what keeps the layering
+acyclic: ``repro.core.* → repro.core.runtime ← repro.api``.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any, List, Optional
+
+__all__ = [
+    "SessionHandle",
+    "current_session",
+    "pop_session",
+    "push_session",
+    "reset_for_worker",
+    "resolve_loop_session",
+    "warn_legacy",
+]
+
+#: Innermost-last stack of entered sessions (``with Session(...)``).
+_ACTIVE_SESSIONS: List[Any] = []
+#: The process-wide default session installed by ``repro.api.default_session()``.
+_DEFAULT_SESSION: Optional[Any] = None
+#: Legacy-kwarg call sites that already warned (DeprecationWarning fires once each).
+_WARNED: set = set()
+
+
+class SessionHandle:
+    """The minimal session protocol the search loops consume.
+
+    A full :class:`repro.api.Session` provides the same two attributes (plus much
+    more); this bare holder is what legacy ``cache=`` / ``parallel=`` kwargs are
+    wrapped in, and what loop internals use to forward a pool to nested loops
+    without re-triggering the deprecation shim.
+    """
+
+    __slots__ = ("cache", "_parallel")
+
+    def __init__(self, cache: Any = None, parallel: Any = None) -> None:
+        self.cache = cache
+        self._parallel = parallel
+
+    @property
+    def parallel(self) -> Any:
+        """What to pass to a ``parallel=`` runtime argument (pool, int or ``None``)."""
+        return self._parallel
+
+
+# ---------------------------------------------------------------------- active stack
+def push_session(session: Any) -> None:
+    """Make ``session`` the innermost active session (``Session.__enter__``)."""
+    _ACTIVE_SESSIONS.append(session)
+
+
+def pop_session(session: Any) -> None:
+    """Remove ``session`` from the active stack (``Session.__exit__``)."""
+    if session in _ACTIVE_SESSIONS:
+        _ACTIVE_SESSIONS.remove(session)
+
+
+def set_default_session(session: Optional[Any]) -> None:
+    global _DEFAULT_SESSION
+    _DEFAULT_SESSION = session
+
+
+def get_default_session() -> Optional[Any]:
+    return _DEFAULT_SESSION
+
+
+def current_session() -> Optional[Any]:
+    """The session bare loop calls should use: innermost active, else the default."""
+    if _ACTIVE_SESSIONS:
+        return _ACTIVE_SESSIONS[-1]
+    return _DEFAULT_SESSION
+
+
+def reset_for_worker() -> None:
+    """Clear inherited session state in a freshly forked pool worker.
+
+    The parent's sessions hold a :class:`WorkerPool` whose pipes are useless in the
+    child; a bare loop call inside a fan-out task must never resolve to it (nested
+    pools would deadlock).  Workers price against :func:`parallel_map.task_cache`
+    instead.
+    """
+    global _DEFAULT_SESSION
+    _ACTIVE_SESSIONS.clear()
+    _DEFAULT_SESSION = None
+
+
+# ---------------------------------------------------------------------- legacy shims
+def warn_legacy(api: str) -> None:
+    """Emit the deprecation warning for a legacy ``cache=``/``parallel=`` call site.
+
+    Fires exactly once per ``api`` label for the life of the process — long sweeps
+    that call a deprecated entry point thousands of times see one line, not a flood.
+    """
+    if api in _WARNED:
+        return
+    _WARNED.add(api)
+    warnings.warn(
+        f"{api} is deprecated; pass session=Session(...) (see repro.api) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def reset_legacy_warnings() -> None:
+    """Forget which call sites already warned (test isolation helper)."""
+    _WARNED.clear()
+
+
+def resolve_loop_session(
+    session: Optional[Any],
+    *,
+    cache: Any = None,
+    parallel: Any = None,
+    api: str = "",
+    fallback: Optional[Any] = None,
+) -> Optional[Any]:
+    """Normalise a loop entry point's knobs to one session-shaped object.
+
+    Precedence: an explicit ``session=`` wins (mixing it with legacy kwargs is an
+    error); legacy ``cache=``/``parallel=`` kwargs warn once and become an implicit
+    :class:`SessionHandle`; otherwise ``fallback`` (a session stored on the owning
+    object at construction) and finally the ambient :func:`current_session`.
+    Returns ``None`` when no session exists anywhere — the loop runs standalone.
+    """
+    if session is not None:
+        if cache is not None or parallel is not None:
+            raise ValueError(
+                f"{api}: pass either session= or the legacy cache=/parallel= "
+                "kwargs, not both"
+            )
+        return session
+    if cache is not None or parallel is not None:
+        if api:
+            warn_legacy(api)
+        return SessionHandle(cache=cache, parallel=parallel)
+    if fallback is not None:
+        return fallback
+    return current_session()

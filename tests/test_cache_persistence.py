@@ -199,7 +199,7 @@ class TestCorruptStoreRecovery:
         with EvaluationCache(store=path) as cache:
             cache.put("good", 5)
         conn = sqlite3.connect(path)
-        conn.execute("INSERT INTO entries VALUES ('bad', 'not-json')")
+        conn.execute("INSERT INTO entries VALUES ('bad', 'not-json', 0)")
         conn.commit()
         conn.close()
         store = open_store(path)
@@ -270,3 +270,121 @@ class TestEvaluatorWarmStart:
         assert parent.peek("q") == 2
         # Re-absorbing the same delta is a no-op.
         assert parent.absorb(child.delta()) == 0
+
+
+# ------------------------------------------------------------------- age eviction
+class TestAgeCompaction:
+    """priced_at timestamps + compact(max_age_s=...): the age-eviction knob."""
+
+    def test_rows_carry_priced_at_timestamps(self, store_path):
+        import time
+
+        before = time.time()
+        with EvaluationCache(store=store_path) as cache:
+            cache.put("k", sample_result())
+        store = open_store(store_path)
+        store.load()
+        assert before <= store.row_times["k"] <= time.time()
+        store.close()
+
+    def test_warm_start_preserves_original_timestamp(self, store_path):
+        with EvaluationCache(store=store_path) as cache:
+            cache.put("k", 1)
+        store = open_store(store_path)
+        store.load()
+        stamped = store.row_times["k"]
+        store.close()
+        # A warm run that only reads (and re-flushes nothing) must not rejuvenate.
+        warm = EvaluationCache(store=store_path)
+        assert warm.get("k") == 1
+        warm.compact()  # rewrite via replace_all, timestamps carried over
+        warm.close()
+        store = open_store(store_path)
+        store.load()
+        assert store.row_times["k"] == stamped
+        store.close()
+
+    def test_compact_max_age_evicts_only_old_rows(self, store_path):
+        store = open_store(store_path)
+        store.append({"old": 1}, {"old": 1_000.0})
+        store.append({"new": 2}, {"new": 2_000.0})
+        store.close()
+        cache = EvaluationCache(store=store_path)
+        kept = cache.compact(max_age_s=500.0, now=2_400.0)
+        cache.close()
+        assert kept == 1
+        warm = EvaluationCache(store=store_path)
+        assert warm.peek("new") == 2 and warm.peek("old") is None
+        warm.close()
+
+    def test_age_and_size_knobs_compose(self, store_path):
+        store = open_store(store_path)
+        store.append(
+            {"a": 1, "b": 2, "c": 3}, {"a": 100.0, "b": 900.0, "c": 950.0}
+        )
+        store.close()
+        cache = EvaluationCache(store=store_path)
+        # Age drops "a"; size then keeps only the newest single survivor.
+        kept = cache.compact(max_entries=1, max_age_s=500.0, now=1_000.0)
+        cache.close()
+        assert kept == 1
+        warm = EvaluationCache(store=store_path)
+        assert warm.peek("c") == 3
+        warm.close()
+
+    def test_pre_timestamp_rows_count_as_oldest(self, store_path):
+        store = open_store(store_path)
+        if isinstance(store, JsonlCacheStore):
+            # Hand-write a legacy row without a "t" field.
+            store.append({}, None)  # no-op, just materialise nothing
+            with open(store_path, "w", encoding="utf-8") as handle:
+                handle.write(store._header() + "\n")
+                handle.write(json.dumps({"k": "legacy", "v": 7}) + "\n")
+        else:
+            store.append({"legacy": 7}, {"legacy": 0.0})
+        store.close()
+        cache = EvaluationCache(store=store_path)
+        assert cache.peek("legacy") == 7
+        cache.put("fresh", 8)
+        kept = cache.compact(max_age_s=3600.0)
+        cache.close()
+        assert kept == 1
+        warm = EvaluationCache(store=store_path)
+        assert warm.peek("fresh") == 8 and warm.peek("legacy") is None
+        warm.close()
+
+    def test_priced_at_stays_bounded_on_store_backed_sweeps(self, store_path):
+        # Regression: timestamps of spilled-and-evicted keys must not accumulate —
+        # a week-long bounded-LRU sweep would otherwise leak one stamp per key.
+        cache = EvaluationCache(max_entries=10, store=store_path)
+        for index in range(200):
+            cache.put(f"k{index}", index)
+            if index % 20 == 0:
+                cache.flush()
+        cache.flush()
+        assert len(cache._priced_at) <= 10 + 1  # resident set (+ in-flight slack)
+        cache.close()
+        store = open_store(store_path)
+        assert len(store.load()) == 200  # the store, not the stamps, keeps history
+        store.close()
+
+    def test_sqlite_schema_migration_from_pre_timestamp_store(self, tmp_path):
+        path = str(tmp_path / "old.sqlite")
+        conn = sqlite3.connect(path)
+        conn.execute("CREATE TABLE meta (key TEXT PRIMARY KEY, value TEXT)")
+        conn.execute("CREATE TABLE entries (key TEXT PRIMARY KEY, value TEXT)")
+        conn.execute(
+            "INSERT INTO meta VALUES ('namespace', ?)", (default_namespace(),)
+        )
+        conn.execute(
+            "INSERT INTO entries VALUES ('k', ?)", (json.dumps(encode_value(5)),)
+        )
+        conn.commit()
+        conn.close()
+        store = SqliteCacheStore(path)
+        assert store.load() == {"k": 5}
+        assert store.row_times["k"] == 0.0  # migrated rows count as oldest
+        store.append({"k2": 6})
+        assert store.load() == {"k": 5, "k2": 6}
+        assert store.row_times["k2"] > 0.0
+        store.close()

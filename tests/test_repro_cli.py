@@ -1,0 +1,152 @@
+"""The ``python -m repro`` CLI (run / sweep / cache) and the perf-gate tolerance fix."""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+import pytest
+
+from repro.api.cli import main as repro_main
+from repro.core.evalcache import EvaluationCache, open_store
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+@pytest.fixture(autouse=True)
+def _clean_runtime():
+    from repro.api import close_default_session
+
+    close_default_session()
+    yield
+    close_default_session()
+
+
+# ------------------------------------------------------------------------------- run
+class TestRunCommand:
+    def test_inline_tiny_spec(self, tmp_path, capsys):
+        out = str(tmp_path / "run.json")
+        status = repro_main(
+            ["run", "--kind", "scheduler", "--wafer", "tiny", "--workload", "tiny",
+             "--json", out]
+        )
+        assert status == 0
+        payload = json.loads(open(out).read())
+        assert payload["plan"] and payload["metrics"]["throughput"] > 0
+        assert payload["metrics"]["records"] > 0
+        assert "scheduler" in capsys.readouterr().out
+
+    def test_spec_file_and_store(self, tmp_path):
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps(
+            {"kind": "ga", "wafer": "tiny", "workload": "tiny",
+             "population": 4, "generations": 2, "name": "tiny-ga"}
+        ))
+        store = str(tmp_path / "run.jsonl")
+        out = str(tmp_path / "run.json")
+        assert repro_main(["run", "--spec", str(spec), "--store", store,
+                           "--json", out]) == 0
+        payload = json.loads(open(out).read())
+        assert payload["label"] == "tiny-ga"
+        assert payload["metrics"]["best_fitness"] > 0
+        # The session flushed its cache to the store on exit.
+        warm = EvaluationCache(store=store)
+        assert warm.stats.loaded > 0
+        warm.close()
+
+    def test_missing_wafer_is_a_clear_error(self):
+        with pytest.raises(SystemExit):
+            repro_main(["run", "--kind", "scheduler", "--workload", "tiny"])
+
+    def test_sweep_runs_specs_on_one_session(self, tmp_path):
+        specs = tmp_path / "matrix.json"
+        specs.write_text(json.dumps([
+            {"kind": "scheduler", "wafer": "tiny", "workload": "tiny", "name": "a"},
+            {"kind": "scheduler", "wafer": "tiny", "workload": "tiny", "name": "b"},
+        ]))
+        out = str(tmp_path / "sweep.json")
+        assert repro_main(["sweep", "--spec", str(specs), "--json", out]) == 0
+        payload = json.loads(open(out).read())
+        assert [run["label"] for run in payload["runs"]] == ["a", "b"]
+        # Second spec hit the shared warm cache: zero extra misses.
+        first, second = payload["runs"]
+        assert second["cache_stats"]["misses"] == first["cache_stats"]["misses"]
+        assert second["cache_stats"]["hits"] > first["cache_stats"]["hits"]
+
+
+# ----------------------------------------------------------------------------- cache
+class TestCacheCommand:
+    def test_stats_and_compact_with_max_age(self, tmp_path, capsys):
+        path = str(tmp_path / "store.jsonl")
+        store = open_store(path)
+        store.append({"old": 1}, {"old": 50.0})
+        store.append({"new": 2})  # stamped now
+        store.close()
+
+        assert repro_main(["cache", "stats", path]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries"] == 2 and stats["oldest_priced_at"] == 50.0
+
+        assert repro_main(["cache", "compact", path, "--max-age", "3600"]) == 0
+        assert "1 kept" in capsys.readouterr().out
+        survivors = open_store(path).load()
+        assert survivors == {"new": 2}
+
+    def test_compact_cache_script_max_age_flag(self, tmp_path, capsys):
+        sys.path.insert(0, os.path.join(REPO_ROOT, "scripts"))
+        try:
+            import compact_cache
+        finally:
+            sys.path.pop(0)
+        path = str(tmp_path / "store.jsonl")
+        store = open_store(path)
+        store.append({"old": 1}, {"old": 50.0})
+        store.append({"new": 2})
+        store.close()
+        assert compact_cache.main([path, "--max-age", "3600"]) == 0
+        assert "1 entries (1 evicted)" in capsys.readouterr().out
+        assert open_store(path).load() == {"new": 2}
+
+    def test_missing_store_fails_cleanly(self, tmp_path, capsys):
+        assert repro_main(["cache", "stats", str(tmp_path / "absent.jsonl")]) == 1
+        assert "no store" in capsys.readouterr().err
+
+
+# ------------------------------------------------------------------------- perf gate
+@pytest.fixture()
+def perf_gate():
+    sys.path.insert(0, os.path.join(REPO_ROOT, "benchmarks"))
+    try:
+        import perf_gate as gate
+    finally:
+        sys.path.pop(0)
+    return gate
+
+
+class TestPerfGateTolerance:
+    def _files(self, tmp_path, current: dict, baseline: dict):
+        cur = tmp_path / "cur.json"
+        base = tmp_path / "base.json"
+        cur.write_text(json.dumps(current))
+        base.write_text(json.dumps(baseline))
+        return str(cur), str(base)
+
+    def test_metric_missing_from_current_fails_with_message(
+        self, perf_gate, tmp_path, capsys
+    ):
+        cur, base = self._files(
+            tmp_path,
+            {"evals_per_sec": 100.0},
+            {"evals_per_sec": 10.0, "parallel_evals_per_sec": 10.0},
+        )
+        assert perf_gate.check(cur, base, max_drop=0.3) == 1
+        out = capsys.readouterr().out
+        assert "re-run the benchmark" in out and "Traceback" not in out
+
+    def test_metric_missing_from_baseline_is_skipped(self, perf_gate, tmp_path, capsys):
+        cur, base = self._files(
+            tmp_path, {"evals_per_sec": 100.0}, {"evals_per_sec": 10.0}
+        )
+        assert perf_gate.check(cur, base, max_drop=0.3) == 0
+        assert "SKIP" in capsys.readouterr().out
