@@ -8,10 +8,14 @@ per-wafer seeded RNG streams.  The fan-out is pure memoization + decorrelated st
 so the parallel run is bit-identical to the serial one, and a second invocation against
 the same ``--cache`` path starts warm from disk.
 
+The per-wafer matrix is data — one :class:`~repro.api.SweepSpec` with the wafer
+slices and their RNG streams as a zipped axis — streamed through ``Session.sweep``;
+``--results`` attaches a result store so an interrupted matrix resumes.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_fig24_multiwafer_ga.py \
-        --wafers 4 --parallel 4 --cache /tmp/fig24.jsonl --json -
+        --wafers 4 --parallel 4 --cache /tmp/fig24.jsonl --results /tmp/fig24-results.jsonl --json -
 """
 
 from __future__ import annotations
@@ -24,7 +28,7 @@ from dataclasses import replace
 from typing import Dict, List
 
 from repro.analysis.reporting import Report
-from repro.api import Session
+from repro.api import Session, SweepSpec, open_result_store
 from repro.baselines.gpu_system import GpuEvaluator
 from repro.core.central_scheduler import CentralScheduler
 from repro.core.evalcache import EvaluationCache
@@ -177,6 +181,36 @@ def run_multiwafer_ga(
     return rows
 
 
+def multiwafer_sweep(
+    wafer: WaferConfig, workload: TrainingWorkload, num_wafers: int, config: GAConfig
+) -> SweepSpec:
+    """The Fig. 24 multi-wafer GA matrix as data: one zipped axis per wafer slice.
+
+    Each cell is a ``kind="ga"`` experiment on (slice workload, per-wafer RNG
+    stream) — ``zip`` locks the two axes together exactly like the old hand-rolled
+    fan-out loop did, and ``Session.sweep`` prices every cell against the session's
+    one shared (optionally persistent) cache.  Equal-sized middle slices share an
+    evaluation fingerprint, so uniform wafers are still priced once.
+    """
+    slices = wafer_slice_workloads(workload, num_wafers)
+    return SweepSpec(
+        name="fig24-multiwafer-ga",
+        base={
+            "kind": "ga",
+            "wafer": wafer,
+            "population": config.population_size,
+            "generations": config.generations,
+            "omega": config.omega,
+            "mutation_rate": config.mutation_rate,
+            "crossover_rate": config.crossover_rate,
+        },
+        zip={
+            "workload": slices,
+            "ga.seed": [config.stream(index).seed for index in range(num_wafers)],
+        },
+    )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Multi-wafer GA with a shared persistent evaluation cache"
@@ -192,6 +226,11 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--cache", metavar="PATH", default=None,
         help="persistent cache store (.jsonl or .sqlite); warm-starts when it exists",
+    )
+    parser.add_argument(
+        "--results", metavar="PATH", default=None,
+        help="result store (.jsonl or .sqlite): stream per-wafer RunResults through "
+             "it and resume an interrupted matrix on re-invocation",
     )
     parser.add_argument(
         "--skip-verify", action="store_true",
@@ -212,26 +251,53 @@ def main(argv=None) -> int:
         population_size=args.population, generations=args.generations, seed=args.seed
     )
 
-    # One Session for the whole experiment matrix: it owns the persistent worker
-    # pool (the timed run and any follow-up sweeps reuse the same forked workers and
-    # their resident cache shards) and the shared — optionally persistent — cache.
+    # The whole matrix is data — one SweepSpec — and one Session runs it: the
+    # session owns the persistent worker pool (reused by every cell) and the shared
+    # — optionally persistent — cache; with --results, each per-wafer RunResult is
+    # written through to a result store as it completes.
+    sweep_spec = multiwafer_sweep(wafer, workload, args.wafers, config)
+    cells = sweep_spec.expand()
     session = Session(workers=args.parallel, store=args.cache)
     shared = session.cache
     loaded = shared.stats.loaded
     try:
         start = time.perf_counter()
-        rows = run_multiwafer_ga(
-            wafer, workload, args.wafers, config, shared, parallel=session.pool
-        )
+        ran = {
+            run.cell_id: run
+            for run in session.sweep(sweep_spec, results=args.results)
+        }
         elapsed = time.perf_counter() - start
         stats = shared.stats
 
+        if args.results:
+            # Resumed invocations only ran the missing cells; the store has all.
+            with open_result_store(args.results) as result_store:
+                records = result_store.load()
+            metrics_per_cell = [dict(records[c.cell_id]["result"]["metrics"]) for c in cells]
+        else:
+            metrics_per_cell = [ran[c.cell_id].metrics for c in cells]
+        rows = []
+        for index, (cell, metrics) in enumerate(zip(cells, metrics_per_cell)):
+            if "best_fitness" not in metrics:
+                # Same contract as the legacy run_multiwafer_ga fan-out.
+                raise ValueError(f"no feasible plan for wafer slice {index}")
+            rows.append(
+                {
+                    "wafer": index,
+                    "layers": cell.spec.workload.model.num_layers,
+                    "best_fitness": metrics["best_fitness"],
+                    "throughput": metrics["throughput"],
+                }
+            )
+
         fitness_match = None
         if not args.skip_verify:
-            cold = EvaluationCache()
-            serial_rows = run_multiwafer_ga(wafer, workload, args.wafers, config, cold)
+            with Session() as serial_session:
+                serial_rows = [
+                    run.metrics for run in serial_session.sweep(sweep_spec)
+                ]
             fitness_match = [r["best_fitness"] for r in rows] == [
-                r["best_fitness"] for r in serial_rows
+                m["best_fitness"] for m in serial_rows
             ]
             if not fitness_match:
                 print(
@@ -255,6 +321,7 @@ def main(argv=None) -> int:
         "warm_start": loaded > 0,
         "flushed_entries": stats.flushed,
         "store": args.cache,
+        "results": args.results,
         "best_fitness_match": fitness_match,
     }
     print(

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import os
+import re
 import shutil
 import subprocess
 import sys
@@ -34,12 +35,21 @@ def step_command(step: dict) -> str:
     return step.get("run", "").strip()
 
 
+_ASSIGNMENT = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*=")
+
+
 def first_executable(command: str) -> str:
-    """The executable of a step's first command line (for availability checks)."""
+    """The executable of a step's first command line (for availability checks).
+
+    Leading ``VAR=value`` words — both whole assignment lines (``T="$TMP"``) and
+    per-command environment prefixes — are skipped, so steps that stage paths in a
+    shell variable first are still probed on their real executable.
+    """
     for line in command.splitlines():
-        line = line.strip()
-        if line:
-            return line.split()[0]
+        for token in line.strip().split():
+            if _ASSIGNMENT.match(token):
+                continue
+            return token
     return ""
 
 

@@ -22,15 +22,22 @@ from repro.api.registry import (
     tiny_workload,
 )
 from repro.api.result import RunResult
+from repro.api.results import ResultStore, export_csv, open_result_store
 from repro.api.session import Session, close_default_session, default_session
 from repro.api.spec import ExperimentSpec
+from repro.api.sweep import SweepCell, SweepSpec
 
 __all__ = [
     "ExperimentSpec",
+    "ResultStore",
     "RunResult",
     "Session",
+    "SweepCell",
+    "SweepSpec",
     "close_default_session",
     "default_session",
+    "export_csv",
+    "open_result_store",
     "register_wafer",
     "register_workload",
     "resolve_wafer",

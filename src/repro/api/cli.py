@@ -1,18 +1,29 @@
-"""``python -m repro`` — run experiments and manage caches from the shell.
+"""``python -m repro`` — run experiments, sweep matrices and manage stores.
 
-Three subcommands drive the :class:`~repro.api.Session` runtime:
+Four subcommands drive the :class:`~repro.api.Session` runtime:
 
-* ``repro run`` — execute one experiment, from a JSON spec file or inline flags::
+* ``repro run`` — execute one experiment, from a JSON spec file or inline flags
+  (``--spec -`` reads the JSON from stdin)::
 
       python -m repro run --kind scheduler --wafer tiny --workload tiny --json -
       python -m repro run --spec experiment.json --workers 4 --store sweep.sqlite
 
-* ``repro sweep`` — execute a JSON *array* of specs on one shared session (one
-  pool, one warm cache)::
+* ``repro sweep`` — expand a :class:`~repro.api.SweepSpec` matrix (``base`` /
+  ``grid`` / ``zip`` / ``seeds``; a plain JSON array of specs still works) and
+  stream it on one shared session.  With ``--results`` every completed cell is
+  written through to a result store and a re-invocation resumes where the last
+  one stopped::
 
-      python -m repro sweep --spec matrix.json --workers 8 --store sweep.sqlite
+      python -m repro sweep --spec matrix.json --workers 8 --results out.sqlite
+      generate_matrix.py | python -m repro sweep --spec - --results out.sqlite
 
-* ``repro cache`` — inspect and maintain persistent stores::
+* ``repro results`` — query a result store::
+
+      python -m repro results stats out.sqlite
+      python -m repro results tail out.sqlite -n 5
+      python -m repro results export out.sqlite --csv matrix.csv
+
+* ``repro cache`` — inspect and maintain persistent evaluation-cache stores::
 
       python -m repro cache stats sweep.jsonl
       python -m repro cache compact sweep.jsonl --max-entries 50000 --max-age 604800
@@ -28,11 +39,13 @@ import argparse
 import json
 import os
 import sys
-from typing import List, Optional
+from typing import Any, List, Optional
 
 from repro.api.registry import wafer_names, workload_names
+from repro.api.results import export_csv, open_result_store
 from repro.api.session import Session
 from repro.api.spec import KINDS, ExperimentSpec
+from repro.api.sweep import SweepSpec
 from repro.core.evalcache import EvaluationCache, open_store
 
 __all__ = [
@@ -85,9 +98,21 @@ def _emit(payload: dict, json_out: Optional[str]) -> None:
 
 
 # ------------------------------------------------------------------------- run/sweep
+def _load_spec_payload(spec_arg: str) -> Any:
+    """The parsed JSON of ``--spec`` (``-`` reads stdin, so matrices pipe in)."""
+    if spec_arg == "-":
+        return json.load(sys.stdin)
+    with open(spec_arg, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
 def _specs_from_args(args: argparse.Namespace) -> List[ExperimentSpec]:
     if args.spec:
-        specs = ExperimentSpec.load(args.spec)
+        payload = _load_spec_payload(args.spec)
+        if isinstance(payload, list):
+            specs = [ExperimentSpec.from_dict(item) for item in payload]
+        else:
+            specs = [ExperimentSpec.from_dict(payload)]
     else:
         if not args.wafer and args.kind != "dse":
             raise SystemExit(
@@ -117,7 +142,7 @@ def _specs_from_args(args: argparse.Namespace) -> List[ExperimentSpec]:
 def _cmd_run(args: argparse.Namespace) -> int:
     specs = _specs_from_args(args)
     with session_from_args(args) as session:
-        results = session.sweep(specs)
+        results = [session.run(spec) for spec in specs]
     for run in results:
         print(run.summary())
     if len(results) == 1:
@@ -125,6 +150,89 @@ def _cmd_run(args: argparse.Namespace) -> int:
     else:
         _emit({"runs": [run.to_dict() for run in results]}, args.json)
     return 0 if all(results) else 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    sweep = SweepSpec.from_payload(_load_spec_payload(args.spec))
+    cells = sweep.expand()
+    store = open_result_store(args.results) if args.results else None
+    done_before = set(store.cell_ids()) if (store is not None and not args.no_resume) else set()
+    skipped = sum(1 for cell in cells if cell.cell_id in done_before)
+    # Keep only the JSON-sized summaries: a RunResult drags its full `details`
+    # payload along, and a streamed matrix must not accumulate those in memory.
+    ran: List[Any] = []
+    all_ok = True
+    try:
+        with session_from_args(args) as session:
+            stream = session.sweep(
+                sweep,
+                results=store,
+                resume=not args.no_resume,
+                completed=done_before,  # already read above; skip a second load
+            )
+            if args.max_cells is None or args.max_cells > 0:
+                for run in stream:
+                    print(run.summary())
+                    all_ok = all_ok and bool(run)
+                    ran.append(run.to_dict())
+                    if args.max_cells is not None and len(ran) >= args.max_cells:
+                        stream.close()
+                        break
+    finally:
+        if store is not None:
+            store.close()
+    pending = len(cells) - skipped - len(ran)
+    print(
+        f"sweep: {len(cells)} cells — {len(ran)} run, {skipped} already complete, "
+        f"{pending} pending"
+        + (f" (results in {args.results})" if args.results else "")
+    )
+    _emit(
+        {
+            "cells": len(cells),
+            "skipped": skipped,
+            "pending": pending,
+            "results": args.results,
+            "runs": ran,
+        },
+        args.json,
+    )
+    return 0 if all_ok else 1
+
+
+# ---------------------------------------------------------------------------- results
+def _cmd_results(args: argparse.Namespace) -> int:
+    if not os.path.exists(args.results_path):
+        print(f"no result store at {args.results_path}", file=sys.stderr)
+        return 1
+    store = open_result_store(args.results_path)
+    try:
+        if args.results_command == "stats":
+            print(json.dumps(store.stats(), indent=2))
+        elif args.results_command == "tail":
+            for cell_id, record in store.tail(args.lines):
+                result = record.get("result") or {}
+                metrics = result.get("metrics") or {}
+                bits = [cell_id, result.get("kind", "?"), result.get("label") or "-"]
+                for key in ("throughput", "best_fitness", "best_objective", "points", "records"):
+                    if key in metrics:
+                        value = metrics[key]
+                        formatted = f"{value:.4g}" if isinstance(value, float) else str(value)
+                        bits.append(f"{key}={formatted}")
+                seconds = record.get("seconds")
+                if seconds is not None:
+                    bits.append(f"{seconds:.2f}s")
+                print("  ".join(bits))
+        else:  # export
+            if args.csv == "-":
+                rows = export_csv(store, sys.stdout)
+            else:
+                with open(args.csv, "w", encoding="utf-8", newline="") as handle:
+                    rows = export_csv(store, handle)
+                print(f"{rows} cells exported to {args.csv}")
+    finally:
+        store.close()
+    return 0
 
 
 # ------------------------------------------------------------------------------ cache
@@ -187,44 +295,80 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    for name, several in (("run", False), ("sweep", True)):
-        cmd = sub.add_parser(
-            name,
-            help=(
-                "run a JSON array of specs on one shared session"
-                if several
-                else "run one experiment spec"
-            ),
-        )
-        cmd.add_argument(
-            "--spec", metavar="JSON",
-            help="spec file (object%s)" % (" or array" if several else ""),
-            required=several,
-        )
-        if not several:
-            cmd.add_argument("--kind", choices=KINDS, default="scheduler")
-            cmd.add_argument(
-                "--wafer", default=None,
-                help=f"wafer name ({', '.join(wafer_names())}) — dse builds its own",
-            )
-            cmd.add_argument(
-                "--workload", default=None,
-                help="workload name ('tiny' or any model-zoo model)",
-            )
-            cmd.add_argument("--max-tp", type=int, default=0)
-            cmd.add_argument("--population", type=int, default=16, help="GA population")
-            cmd.add_argument("--generations", type=int, default=30, help="GA generations")
-            cmd.add_argument("--seed", type=int, default=0, help="GA RNG seed")
-            cmd.add_argument(
-                "--nest", choices=("points", "inner"), default="points",
-                help="watos: which loop level the pool accelerates",
-            )
-        add_session_arguments(cmd)
-        cmd.add_argument(
-            "--json", metavar="OUT", default=None,
-            help="write the RunResult summary as JSON ('-' for stdout)",
-        )
-        cmd.set_defaults(func=_cmd_run)
+    run = sub.add_parser("run", help="run one experiment spec")
+    run.add_argument(
+        "--spec", metavar="JSON", default=None,
+        help="spec file, object or array ('-' reads stdin)",
+    )
+    run.add_argument("--kind", choices=KINDS, default="scheduler")
+    run.add_argument(
+        "--wafer", default=None,
+        help=f"wafer name ({', '.join(wafer_names())}) — dse builds its own",
+    )
+    run.add_argument(
+        "--workload", default=None,
+        help="workload name ('tiny' or any model-zoo model)",
+    )
+    run.add_argument("--max-tp", type=int, default=0)
+    run.add_argument("--population", type=int, default=16, help="GA population")
+    run.add_argument("--generations", type=int, default=30, help="GA generations")
+    run.add_argument("--seed", type=int, default=0, help="GA RNG seed")
+    run.add_argument(
+        "--nest", choices=("points", "inner"), default="points",
+        help="watos: which loop level the pool accelerates",
+    )
+    add_session_arguments(run)
+    run.add_argument(
+        "--json", metavar="OUT", default=None,
+        help="write the RunResult summary as JSON ('-' for stdout)",
+    )
+    run.set_defaults(func=_cmd_run)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="expand a SweepSpec matrix (base/grid/zip/seeds — or a plain spec "
+             "array) and stream it on one shared session",
+    )
+    sweep.add_argument(
+        "--spec", metavar="JSON", required=True,
+        help="SweepSpec object or spec array ('-' reads stdin)",
+    )
+    sweep.add_argument(
+        "--results", metavar="PATH", default=None,
+        help="result store (.jsonl or .sqlite): write each cell through as it "
+             "completes; a re-invocation skips cells already present",
+    )
+    sweep.add_argument(
+        "--no-resume", action="store_true",
+        help="re-run every cell even when the result store already holds it",
+    )
+    sweep.add_argument(
+        "--max-cells", type=int, default=None, metavar="N",
+        help="stop after running N fresh cells (resume later to finish)",
+    )
+    add_session_arguments(sweep)
+    sweep.add_argument(
+        "--json", metavar="OUT", default=None,
+        help="write the sweep summary as JSON ('-' for stdout)",
+    )
+    sweep.set_defaults(func=_cmd_sweep)
+
+    results = sub.add_parser("results", help="query sweep result stores")
+    results_sub = results.add_subparsers(dest="results_command", required=True)
+    for results_cmd, help_text in (
+        ("stats", "cell count, per-kind histogram, time range"),
+        ("tail", "the last completed cells, one line each"),
+        ("export", "one CSV row per cell with metrics columns"),
+    ):
+        r = results_sub.add_parser(results_cmd, help=help_text)
+        r.add_argument("results_path", help="path of the store (.jsonl, .sqlite, .db)")
+        if results_cmd == "tail":
+            r.add_argument("-n", "--lines", type=int, default=10,
+                           help="how many trailing cells to show")
+        if results_cmd == "export":
+            r.add_argument("--csv", metavar="OUT", required=True,
+                           help="CSV output path ('-' for stdout)")
+        r.set_defaults(func=_cmd_results)
 
     cache = sub.add_parser("cache", help="inspect / compact persistent cache stores")
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)
@@ -245,7 +389,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Streaming output into a closed pager/head is a normal way to stop; exit
+        # quietly instead of tracebacking (stdout is gone, so swap in devnull).
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -30,6 +30,7 @@ from repro.hardware.template import (
     WaferConfig,
 )
 from repro.units import GB, tbps, tflops
+from repro.api.spec import did_you_mean
 from repro.workloads.models import MODEL_ZOO, ModelConfig, ModelFamily, get_model
 from repro.workloads.workload import TrainingWorkload
 
@@ -145,9 +146,11 @@ def resolve_wafer(wafer: Union[str, WaferConfig]) -> WaferConfig:
         return wafer
     factory = _WAFERS.get(str(wafer))
     if factory is None:
+        hint = did_you_mean(str(wafer), wafer_names())
+        suggestion = f" did you mean {hint}?" if hint else ""
         raise KeyError(
-            f"unknown wafer {wafer!r}; registered: {', '.join(wafer_names())} "
-            "(register_wafer adds more)"
+            f"unknown wafer {wafer!r};{suggestion} "
+            f"registered: {', '.join(wafer_names())} (register_wafer adds more)"
         )
     return factory()
 
@@ -182,8 +185,11 @@ def resolve_workload(
         return factory()
     if name in MODEL_ZOO:
         return resolve_workload({"model": name})
+    hint = did_you_mean(name, workload_names())
+    suggestion = f" did you mean {hint}?" if hint else ""
     raise KeyError(
-        f"unknown workload {name!r}; registered: {', '.join(sorted(_WORKLOADS))}, "
+        f"unknown workload {name!r};{suggestion} "
+        f"registered: {', '.join(sorted(_WORKLOADS))}, "
         "plus any model-zoo name (default batching) or a "
         "{'model': …, 'global_batch_size': …} mapping"
     )

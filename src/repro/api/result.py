@@ -38,6 +38,9 @@ class RunResult:
     details: Any = None
     #: Label of the spec that produced this (``spec.name`` or the kind).
     label: str = ""
+    #: Stable content-derived cell id when this run came out of a
+    #: :class:`~repro.api.SweepSpec` matrix (empty for plain ``Session.run``).
+    cell_id: str = ""
 
     def __bool__(self) -> bool:
         """Non-empty means the run actually produced something usable."""
@@ -49,17 +52,26 @@ class RunResult:
             return self.result.throughput
         return float(self.metrics.get("throughput", 0.0))
 
-    def to_dict(self) -> Dict[str, Any]:
-        """A JSON-compatible summary (plans are reduced to their labels)."""
-        return {
+    def to_dict(self, volatile: bool = True) -> Dict[str, Any]:
+        """A JSON-compatible summary (plans are reduced to their labels).
+
+        ``volatile=False`` drops the two run-environment fields — wall-clock
+        ``seconds`` and the session-cumulative ``cache_stats`` — leaving only what
+        the (pure) search produced.  Result stores persist this deterministic form,
+        which is what makes a resumed sweep byte-identical to a fresh one.
+        """
+        data: Dict[str, Any] = {
             "kind": self.kind,
             "label": self.label,
+            "cell_id": self.cell_id,
             "plan": self.plan.label() if self.plan is not None else None,
             "oom": self.result.oom if self.result is not None else None,
             "metrics": dict(self.metrics),
-            "cache_stats": dict(self.cache_stats),
-            "seconds": self.seconds,
         }
+        if volatile:
+            data["cache_stats"] = dict(self.cache_stats)
+            data["seconds"] = self.seconds
+        return data
 
     def summary(self) -> str:
         """One human line for CLI output."""

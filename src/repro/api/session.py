@@ -24,8 +24,9 @@ direct-call path (asserted in ``tests/test_session.py``).
 from __future__ import annotations
 
 import atexit
+import os
 import time
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, Iterable, Iterator, Mapping, Optional, Union
 
 from repro.core import runtime
 from repro.core.central_scheduler import CentralScheduler
@@ -37,7 +38,9 @@ from repro.core.hardware_dse import DieGranularityDse
 from repro.core.parallel_map import WorkerPool, resolve_workers
 from repro.api import registry
 from repro.api.result import RunResult
+from repro.api.results import ResultStore, make_record, open_result_store
 from repro.api.spec import ExperimentSpec
+from repro.api.sweep import SweepSpec, as_sweep_spec
 
 __all__ = ["Session", "close_default_session", "default_session"]
 
@@ -61,6 +64,12 @@ class Session:
     compact_on_exit / compact_max_entries / compact_max_age_s:
         When set, :meth:`close` compacts the attached store (fold append-only
         history to one row per key; optionally evict by count and by age).
+    results:
+        Either an existing :class:`~repro.api.results.ResultStore` to adopt (the
+        caller owns and closes it), or a path (``.jsonl`` / ``.sqlite``) the
+        session opens (and closes) itself.  The store becomes *ambient* the same
+        way the cache is: every :meth:`sweep` on (or inside) this session streams
+        completed cells to it unless the call names its own.
     """
 
     def __init__(
@@ -75,6 +84,7 @@ class Session:
         compact_on_exit: bool = False,
         compact_max_entries: Optional[int] = None,
         compact_max_age_s: Optional[float] = None,
+        results: Optional[Union[str, os.PathLike, ResultStore]] = None,
     ) -> None:
         if cache is not None and store is not None:
             raise ValueError("pass either cache= (adopted) or store= (owned), not both")
@@ -99,6 +109,10 @@ class Session:
         )
         self.compact_max_entries = compact_max_entries
         self.compact_max_age_s = compact_max_age_s
+        self._owns_results = isinstance(results, (str, os.PathLike))
+        self.results: Optional[ResultStore] = (
+            open_result_store(results) if self._owns_results else results
+        )
         self._closed = False
 
     # ------------------------------------------------------------------ pool/cache
@@ -137,6 +151,8 @@ class Session:
             )
         if self._owns_cache:
             self.cache.close()
+        if self._owns_results and self.results is not None:
+            self.results.close()
 
     @property
     def closed(self) -> bool:
@@ -189,9 +205,91 @@ class Session:
         self.cache.flush()
         return run_result
 
-    def sweep(self, specs) -> List[RunResult]:
-        """Run several specs on this one session (shared pool, shared warm cache)."""
-        return [self.run(spec) for spec in specs]
+    def sweep(
+        self,
+        sweep: Union[SweepSpec, ExperimentSpec, Dict, list, tuple],
+        results: Optional[Union[str, os.PathLike, ResultStore]] = None,
+        *,
+        resume: bool = True,
+        completed: Optional[set] = None,
+    ) -> Iterable[RunResult]:
+        """Stream a :class:`SweepSpec` matrix: yield each :class:`RunResult` as it
+        completes, on one shared pool and one warm cache.
+
+        With a result store attached — the ``results=`` argument (path or open
+        :class:`~repro.api.results.ResultStore`), else the session's own
+        ``Session(results=...)``, else the ambient one — every completed cell is
+        written through immediately, and (unless ``resume=False``) cells whose
+        ``cell_id`` the store already holds are skipped, not re-run and not
+        yielded.  Pricing is pure and cell ids are content-derived, so an
+        interrupted-and-resumed matrix stores byte-identical rows to a fresh run.
+        ``completed=`` overrides the store lookup with a precomputed id set, so a
+        caller that already read the store (the CLI) avoids a second full load.
+
+        A bare ``list`` of :class:`ExperimentSpec` still works exactly as before —
+        wrapped as a trivial :class:`SweepSpec` after a one-time
+        ``DeprecationWarning``, and run *eagerly* to an indexable list, the PR 4
+        contract.  Pass ``SweepSpec.from_specs([...])`` to get the streaming
+        generator (and no warning) for an explicit cell list.
+        """
+        if self._closed:
+            raise RuntimeError("session is closed")
+        if (
+            not isinstance(sweep, (SweepSpec, ExperimentSpec, Mapping, str, bytes))
+            and not isinstance(sweep, (list, tuple))
+            and hasattr(sweep, "__iter__")
+        ):
+            # PR 4 accepted any iterable of specs; keep generators/iterators on
+            # the same shim path as bare lists.
+            sweep = list(sweep)
+        legacy_list = isinstance(sweep, (list, tuple))
+        if legacy_list:
+            runtime.warn_legacy(
+                "Session.sweep(list)",
+                hint="wrap the specs in a SweepSpec "
+                "(repro.api.SweepSpec.from_specs) instead",
+            )
+            # The PR 4 contract was one result per spec, positionally — never
+            # skip, even when a store already holds some of the cells.
+            resume = False
+        cells = as_sweep_spec(sweep).expand()
+        owns_store = isinstance(results, (str, os.PathLike))
+        store: Optional[ResultStore]
+        if owns_store:
+            store = open_result_store(results)
+        elif results is not None:
+            store = results
+        elif self.results is not None:
+            store = self.results
+        else:
+            store = runtime.current_results()
+        stream = self._sweep_iter(cells, store, resume, owns_store, completed)
+        return list(stream) if legacy_list else stream
+
+    def _sweep_iter(
+        self,
+        cells,
+        store: Optional[ResultStore],
+        resume: bool,
+        owns_store: bool,
+        completed: Optional[set] = None,
+    ) -> Iterator[RunResult]:
+        try:
+            if not resume:
+                completed = set()
+            elif completed is None:
+                completed = set(store.cell_ids()) if store is not None else set()
+            for cell in cells:
+                if cell.cell_id in completed:
+                    continue
+                run = self.run(cell.spec)
+                run.cell_id = cell.cell_id
+                if store is not None:
+                    store.put(cell.cell_id, make_record(run, cell.spec))
+                yield run
+        finally:
+            if owns_store and store is not None:
+                store.close()
 
     def _spec_parallel(self, spec: ExperimentSpec):
         """The parallelism a spec runs with: the session pool, else the spec's hint."""
@@ -202,7 +300,9 @@ class Session:
 
     def _handle(self, spec: ExperimentSpec) -> runtime.SessionHandle:
         """A session handle carrying this session's cache and the spec's parallelism."""
-        return runtime.SessionHandle(cache=self.cache, parallel=self._spec_parallel(spec))
+        return runtime.SessionHandle(
+            cache=self.cache, parallel=self._spec_parallel(spec), results=self.results
+        )
 
     def _scheduler(self, spec: ExperimentSpec, wafer, evaluator=None) -> CentralScheduler:
         kwargs: Dict[str, Any] = {"max_tp": spec.max_tp}

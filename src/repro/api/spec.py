@@ -10,10 +10,11 @@ from a dict or a JSON file, so the same experiment can be launched from Python, 
 from __future__ import annotations
 
 import dataclasses
+import difflib
 import json
 import os
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Union
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.core.genetic import GAConfig
 from repro.hardware.template import WaferConfig
@@ -21,10 +22,22 @@ from repro.interconnect.collectives import CollectiveAlgorithm
 from repro.parallelism.partition import TPSplitStrategy
 from repro.workloads.workload import TrainingWorkload
 
-__all__ = ["ExperimentSpec", "KINDS"]
+__all__ = ["ExperimentSpec", "KINDS", "did_you_mean"]
 
 #: The four search loops a spec can name.
 KINDS = ("scheduler", "ga", "dse", "watos")
+
+
+def did_you_mean(name: str, candidates: Iterable[str]) -> Optional[str]:
+    """The closest real name to a probable typo, or ``None`` when nothing is close.
+
+    Shared by every layer that resolves user-supplied names — spec fields, sweep
+    knob paths, registry wafer/workload names — so a mistyped key fails with
+    ``populatoin: unknown …; did you mean population?`` instead of a bare
+    ``KeyError``.
+    """
+    matches = difflib.get_close_matches(str(name), list(candidates), n=1, cutoff=0.6)
+    return matches[0] if matches else None
 
 
 @dataclass
@@ -127,8 +140,22 @@ class ExperimentSpec:
     # ------------------------------------------------------------------ codecs
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "ExperimentSpec":
-        """Build a spec from a plain dict (unknown keys land in :attr:`extras`)."""
+        """Build a spec from a plain dict.
+
+        Unknown keys land in :attr:`extras` — *except* when one is a near-miss of a
+        real field (``populatoin``), which is almost certainly a typo that would
+        otherwise silently configure nothing; those raise a ``ValueError`` naming
+        the key and the suggested spelling.
+        """
         known = {f.name for f in dataclasses.fields(cls)}
+        for key in data:
+            if key not in known:
+                hint = did_you_mean(key, known - {"extras"})
+                if hint is not None:
+                    raise ValueError(
+                        f"{key}: unknown spec field; did you mean {hint}? "
+                        "(genuinely custom keys belong under 'extras')"
+                    )
         kwargs = {k: v for k, v in data.items() if k in known}
         extras = {k: v for k, v in data.items() if k not in known}
         if extras:

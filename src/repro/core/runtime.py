@@ -31,6 +31,7 @@ from typing import Any, List, Optional
 
 __all__ = [
     "SessionHandle",
+    "current_results",
     "current_session",
     "pop_session",
     "push_session",
@@ -56,10 +57,14 @@ class SessionHandle:
     without re-triggering the deprecation shim.
     """
 
-    __slots__ = ("cache", "_parallel")
+    __slots__ = ("cache", "results", "_parallel")
 
-    def __init__(self, cache: Any = None, parallel: Any = None) -> None:
+    def __init__(self, cache: Any = None, parallel: Any = None, results: Any = None) -> None:
         self.cache = cache
+        #: The owning session's result store (``Session._handle`` forwards it), so
+        #: session-shaped consumers see the same ``.results`` surface on a handle
+        #: as on a full ``Session``.  ``None`` for legacy-kwarg shims.
+        self.results = results
         self._parallel = parallel
 
     @property
@@ -96,6 +101,20 @@ def current_session() -> Optional[Any]:
     return _DEFAULT_SESSION
 
 
+def current_results() -> Optional[Any]:
+    """The ambient result store, walking active sessions innermost-first.
+
+    ``Session(results=...)`` makes the store ambient the same way the cache is: a
+    sweep that names no store of its own streams to the innermost enclosing session
+    that has one (then the default session's).  ``None`` when nobody does.
+    """
+    for session in reversed(_ACTIVE_SESSIONS):
+        results = getattr(session, "results", None)
+        if results is not None:
+            return results
+    return getattr(_DEFAULT_SESSION, "results", None)
+
+
 def reset_for_worker() -> None:
     """Clear inherited session state in a freshly forked pool worker.
 
@@ -110,17 +129,20 @@ def reset_for_worker() -> None:
 
 
 # ---------------------------------------------------------------------- legacy shims
-def warn_legacy(api: str) -> None:
-    """Emit the deprecation warning for a legacy ``cache=``/``parallel=`` call site.
+def warn_legacy(api: str, hint: Optional[str] = None) -> None:
+    """Emit the deprecation warning for a legacy call site.
 
     Fires exactly once per ``api`` label for the life of the process — long sweeps
     that call a deprecated entry point thousands of times see one line, not a flood.
+    ``hint`` overrides the default session-kwarg guidance for shims (like the bare
+    spec-list form of ``Session.sweep``) whose replacement is something else.
     """
     if api in _WARNED:
         return
     _WARNED.add(api)
     warnings.warn(
-        f"{api} is deprecated; pass session=Session(...) (see repro.api) instead",
+        f"{api} is deprecated; "
+        + (hint or "pass session=Session(...) (see repro.api) instead"),
         DeprecationWarning,
         stacklevel=3,
     )

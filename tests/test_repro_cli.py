@@ -74,6 +74,110 @@ class TestRunCommand:
         assert second["cache_stats"]["misses"] == first["cache_stats"]["misses"]
         assert second["cache_stats"]["hits"] > first["cache_stats"]["hits"]
 
+    def test_spec_from_stdin(self, tmp_path, monkeypatch):
+        import io
+
+        monkeypatch.setattr(
+            sys, "stdin",
+            io.StringIO(json.dumps(
+                {"kind": "scheduler", "wafer": "tiny", "workload": "tiny"}
+            )),
+        )
+        out = str(tmp_path / "run.json")
+        assert repro_main(["run", "--spec", "-", "--json", out]) == 0
+        assert json.loads(open(out).read())["metrics"]["throughput"] > 0
+
+
+# ----------------------------------------------------------------------------- sweep
+MATRIX = {
+    "base": {"kind": "scheduler", "wafer": "tiny", "workload": "tiny"},
+    "grid": {"scheduler.max_tp": [2, 4], "wafer": ["tiny"]},
+    "seeds": 2,
+}
+
+
+class TestSweepCommand:
+    def test_matrix_expands_streams_and_resumes(self, tmp_path, capsys):
+        spec = tmp_path / "matrix.json"
+        spec.write_text(json.dumps(MATRIX))
+        results = str(tmp_path / "results.sqlite")
+
+        # First invocation stops after one cell (a simulated kill mid-matrix).
+        assert repro_main(["sweep", "--spec", str(spec), "--results", results,
+                           "--max-cells", "1"]) == 0
+        assert "4 cells — 1 run, 0 already complete, 3 pending" in capsys.readouterr().out
+
+        # The resumed invocation runs only the remaining cells.
+        out = str(tmp_path / "sweep.json")
+        assert repro_main(["sweep", "--spec", str(spec), "--results", results,
+                           "--json", out]) == 0
+        assert "4 cells — 3 run, 1 already complete" in capsys.readouterr().out
+        payload = json.loads(open(out).read())
+        assert payload["cells"] == 4 and payload["skipped"] == 1
+        assert len(payload["runs"]) == 3
+
+        from repro.api import open_result_store
+
+        with open_result_store(results) as store:
+            assert len(store) == 4  # exactly one row per cell
+
+    def test_max_cells_zero_runs_nothing(self, tmp_path, capsys):
+        spec = tmp_path / "matrix.json"
+        spec.write_text(json.dumps(MATRIX))
+        results = str(tmp_path / "results.jsonl")
+        assert repro_main(["sweep", "--spec", str(spec), "--results", results,
+                           "--max-cells", "0"]) == 0
+        assert "4 cells — 0 run, 0 already complete, 4 pending" in capsys.readouterr().out
+        assert not os.path.exists(results)  # nothing ran, nothing written
+
+    def test_matrix_from_stdin(self, tmp_path, monkeypatch, capsys):
+        import io
+
+        monkeypatch.setattr(sys, "stdin", io.StringIO(json.dumps(MATRIX)))
+        assert repro_main(["sweep", "--spec", "-"]) == 0
+        assert "4 cells — 4 run" in capsys.readouterr().out
+
+    def test_bad_knob_path_fails_with_suggestion(self, tmp_path):
+        spec = tmp_path / "matrix.json"
+        spec.write_text(json.dumps(
+            {"base": MATRIX["base"], "grid": {"scheduler.max_pt": [2]}}
+        ))
+        with pytest.raises(ValueError, match="max_pt.*did you mean"):
+            repro_main(["sweep", "--spec", str(spec)])
+
+
+# --------------------------------------------------------------------------- results
+class TestResultsCommand:
+    def _store(self, tmp_path):
+        spec = tmp_path / "matrix.json"
+        spec.write_text(json.dumps(MATRIX))
+        results = str(tmp_path / "results.jsonl")
+        assert repro_main(["sweep", "--spec", str(spec), "--results", results]) == 0
+        return results
+
+    def test_stats_tail_export(self, tmp_path, capsys):
+        results = self._store(tmp_path)
+        capsys.readouterr()
+
+        assert repro_main(["results", "stats", results]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["cells"] == 4 and stats["kinds"] == {"scheduler": 4}
+
+        assert repro_main(["results", "tail", results, "-n", "2"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2 and all("scheduler" in line for line in lines)
+
+        csv_out = str(tmp_path / "cells.csv")
+        assert repro_main(["results", "export", results, "--csv", csv_out]) == 0
+        rows = open(csv_out).read().strip().splitlines()
+        assert len(rows) == 5  # header + one row per cell
+        assert rows[0].startswith("cell_id,kind,label,plan,oom,seconds,")
+        assert "throughput" in rows[0]
+
+    def test_missing_store_fails_cleanly(self, tmp_path, capsys):
+        assert repro_main(["results", "stats", str(tmp_path / "absent.jsonl")]) == 1
+        assert "no result store" in capsys.readouterr().err
+
 
 # ----------------------------------------------------------------------------- cache
 class TestCacheCommand:
