@@ -23,16 +23,24 @@ from repro.api.registry import (
 )
 from repro.api.result import RunResult
 from repro.api.results import ResultStore, export_csv, open_result_store
-from repro.api.session import Session, close_default_session, default_session
+from repro.api.session import (
+    Session,
+    SweepCellError,
+    close_default_session,
+    default_session,
+)
 from repro.api.spec import ExperimentSpec
 from repro.api.sweep import SweepCell, SweepSpec
+from repro.core.retry import RetryPolicy
 
 __all__ = [
     "ExperimentSpec",
     "ResultStore",
+    "RetryPolicy",
     "RunResult",
     "Session",
     "SweepCell",
+    "SweepCellError",
     "SweepSpec",
     "close_default_session",
     "default_session",

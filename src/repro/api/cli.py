@@ -42,11 +42,12 @@ import sys
 from typing import Any, List, Optional
 
 from repro.api.registry import wafer_names, workload_names
-from repro.api.results import export_csv, open_result_store
-from repro.api.session import Session
+from repro.api.results import export_csv, open_result_store, record_status
+from repro.api.session import Session, SweepCellError
 from repro.api.spec import KINDS, ExperimentSpec
 from repro.api.sweep import SweepSpec
 from repro.core.evalcache import EvaluationCache, open_store
+from repro.core.retry import RetryPolicy
 
 __all__ = [
     "add_session_arguments",
@@ -152,15 +153,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0 if all(results) else 1
 
 
+def _retry_from_args(args: argparse.Namespace) -> RetryPolicy:
+    return RetryPolicy(
+        max_attempts=args.retries,
+        backoff_s=args.retry_backoff,
+        timeout_s=args.cell_timeout,
+    )
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     sweep = SweepSpec.from_payload(_load_spec_payload(args.spec))
     cells = sweep.expand()
     store = open_result_store(args.results) if args.results else None
-    done_before = set(store.cell_ids()) if (store is not None and not args.no_resume) else set()
+    done_before = (
+        set(store.completed_ids(include_failed=args.skip_failed))
+        if (store is not None and not args.no_resume)
+        else set()
+    )
     skipped = sum(1 for cell in cells if cell.cell_id in done_before)
     # Keep only the JSON-sized summaries: a RunResult drags its full `details`
     # payload along, and a streamed matrix must not accumulate those in memory.
     ran: List[Any] = []
+    failed = 0
     all_ok = True
     try:
         with session_from_args(args) as session:
@@ -169,22 +183,33 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 results=store,
                 resume=not args.no_resume,
                 completed=done_before,  # already read above; skip a second load
+                retry=_retry_from_args(args),
+                keep_going=not args.fail_fast,
+                skip_failed=args.skip_failed,
             )
             if args.max_cells is None or args.max_cells > 0:
                 for run in stream:
                     print(run.summary())
                     all_ok = all_ok and bool(run)
+                    if run.failed:
+                        failed += 1
                     ran.append(run.to_dict())
                     if args.max_cells is not None and len(ran) >= args.max_cells:
                         stream.close()
                         break
+    except SweepCellError as exc:
+        # --fail-fast: the poison cell was already recorded in the store (so a
+        # resume knows), but the matrix stops here instead of quarantining on.
+        print(f"sweep aborted: {exc}", file=sys.stderr)
+        failed += 1
+        all_ok = False
     finally:
         if store is not None:
             store.close()
     pending = len(cells) - skipped - len(ran)
     print(
-        f"sweep: {len(cells)} cells — {len(ran)} run, {skipped} already complete, "
-        f"{pending} pending"
+        f"sweep: {len(cells)} cells — {len(ran)} run, {failed} failed, "
+        f"{skipped} already complete, {pending} pending"
         + (f" (results in {args.results})" if args.results else "")
     )
     _emit(
@@ -192,6 +217,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "cells": len(cells),
             "skipped": skipped,
             "pending": pending,
+            "failed": failed,
             "results": args.results,
             "runs": ran,
         },
@@ -210,10 +236,14 @@ def _cmd_results(args: argparse.Namespace) -> int:
         if args.results_command == "stats":
             print(json.dumps(store.stats(), indent=2))
         elif args.results_command == "tail":
-            for cell_id, record in store.tail(args.lines):
+            for cell_id, record in store.tail(args.lines, status=args.status):
                 result = record.get("result") or {}
                 metrics = result.get("metrics") or {}
                 bits = [cell_id, result.get("kind", "?"), result.get("label") or "-"]
+                if record_status(record) != "ok":
+                    error = str(result.get("error") or "").strip()
+                    reason = error.splitlines()[-1] if error else "unknown error"
+                    bits.append(f"FAILED: {reason}")
                 for key in ("throughput", "best_fitness", "best_objective", "points", "records"):
                     if key in metrics:
                         value = metrics[key]
@@ -346,6 +376,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-cells", type=int, default=None, metavar="N",
         help="stop after running N fresh cells (resume later to finish)",
     )
+    sweep.add_argument(
+        "--retries", type=int, default=3, metavar="N",
+        help="attempts per cell before it is quarantined as failed (default 3)",
+    )
+    sweep.add_argument(
+        "--retry-backoff", type=float, default=0.0, metavar="SECONDS",
+        help="base backoff between attempts (doubles each retry, jittered "
+             "deterministically; default 0)",
+    )
+    sweep.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per attempt; stragglers are killed and retried",
+    )
+    sweep.add_argument(
+        "--fail-fast", action="store_true",
+        help="abort the sweep on the first quarantined cell instead of the "
+             "default keep-going quarantine",
+    )
+    sweep.add_argument(
+        "--skip-failed", action="store_true",
+        help="on resume, leave previously failed cells alone instead of "
+             "re-attempting them",
+    )
     add_session_arguments(sweep)
     sweep.add_argument(
         "--json", metavar="OUT", default=None,
@@ -365,6 +418,8 @@ def build_parser() -> argparse.ArgumentParser:
         if results_cmd == "tail":
             r.add_argument("-n", "--lines", type=int, default=10,
                            help="how many trailing cells to show")
+            r.add_argument("--status", default=None, metavar="STATUS",
+                           help="only show cells with this status (e.g. failed)")
         if results_cmd == "export":
             r.add_argument("--csv", metavar="OUT", required=True,
                            help="CSV output path ('-' for stdout)")

@@ -41,10 +41,27 @@ class RunResult:
     #: Stable content-derived cell id when this run came out of a
     #: :class:`~repro.api.SweepSpec` matrix (empty for plain ``Session.run``).
     cell_id: str = ""
+    #: ``"ok"`` for a completed run, ``"failed"`` for a quarantined sweep cell that
+    #: exhausted its :class:`~repro.core.retry.RetryPolicy` (crashes, timeouts, or
+    #: plain exceptions).  Failed cells are recorded, not raised, under the sweep's
+    #: default keep-going semantics.
+    status: str = "ok"
+    #: Captured traceback text of the last failed attempt (empty on success).
+    error: str = ""
+    #: How many attempts this outcome took (1 on the crash-free path).  Volatile —
+    #: a run that survived a worker crash still prices bit-identically, it just
+    #: took more tries.
+    attempts: int = 1
 
     def __bool__(self) -> bool:
         """Non-empty means the run actually produced something usable."""
+        if self.status != "ok":
+            return False
         return self.plan is not None or self.details is not None
+
+    @property
+    def failed(self) -> bool:
+        return self.status == "failed"
 
     @property
     def throughput(self) -> float:
@@ -66,16 +83,26 @@ class RunResult:
             "cell_id": self.cell_id,
             "plan": self.plan.label() if self.plan is not None else None,
             "oom": self.result.oom if self.result is not None else None,
+            "status": self.status,
+            "error": self.error,
             "metrics": dict(self.metrics),
         }
         if volatile:
             data["cache_stats"] = dict(self.cache_stats)
             data["seconds"] = self.seconds
+            # Attempts are volatile on purpose: a cell that survived a worker
+            # crash produced the same (pure) result, it just took more tries.
+            data["attempts"] = self.attempts
         return data
 
     def summary(self) -> str:
         """One human line for CLI output."""
         bits = [self.label or self.kind]
+        if self.failed:
+            reason = self.error.strip().splitlines()[-1] if self.error else "unknown error"
+            bits.append(f"FAILED after {self.attempts} attempt(s): {reason}")
+            bits.append(f"{self.seconds:.2f}s")
+            return "  ".join(bits)
         if self.plan is not None:
             bits.append(self.plan.label())
         if self.result is not None:

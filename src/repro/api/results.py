@@ -45,12 +45,15 @@ __all__ = [
     "export_csv",
     "make_record",
     "open_result_store",
+    "record_status",
     "results_namespace",
 ]
 
 #: Version of the record layout.  Bump on incompatible change; stores written under
 #: a different version are discarded on load (cold start, file reset in place).
-RESULTS_SCHEMA_VERSION = 1
+#: v2: ``result`` rows carry ``status``/``error`` (cell quarantine), records carry
+#: an ``attempts`` sidecar.
+RESULTS_SCHEMA_VERSION = 2
 
 
 def results_namespace() -> str:
@@ -64,8 +67,14 @@ def make_record(run, spec=None, now: Optional[float] = None) -> Dict[str, Any]:
         "result": run.to_dict(volatile=False),
         "spec": spec.to_dict() if spec is not None else None,
         "seconds": run.seconds,
+        "attempts": getattr(run, "attempts", 1),
         "written_at": time.time() if now is None else now,
     }
+
+
+def record_status(record: Dict[str, Any]) -> str:
+    """The cell status a stored record reports (``"ok"`` for pre-status rows)."""
+    return str((record.get("result") or {}).get("status") or "ok")
 
 
 class ResultStore:
@@ -116,6 +125,22 @@ class ResultStore:
         """Ids of every completed cell, in completion order."""
         return list(self.load())
 
+    def completed_ids(self, include_failed: bool = False) -> set:
+        """Cell ids a resumed sweep may skip.
+
+        By default only cells that *succeeded* count as complete — quarantined
+        (``status="failed"``) rows are re-attempted on resume.  ``include_failed``
+        (the ``--skip-failed`` semantics) treats failed rows as settled too.
+        """
+        records = self.load()
+        if include_failed:
+            return set(records)
+        return {
+            cell_id
+            for cell_id, record in records.items()
+            if record_status(record) != "failed"
+        }
+
     def __len__(self) -> int:
         return len(self.load())
 
@@ -128,6 +153,7 @@ class ResultStore:
         kinds = Counter(
             (record.get("result") or {}).get("kind", "?") for record in records.values()
         )
+        statuses = Counter(record_status(record) for record in records.values())
         times = [
             record["written_at"]
             for record in records.values()
@@ -138,17 +164,28 @@ class ResultStore:
             "store": self.path,
             "cells": len(records),
             "kinds": dict(sorted(kinds.items())),
+            "statuses": dict(sorted(statuses.items())),
+            "failed": statuses.get("failed", 0),
             "load_errors": self.load_errors,
             "oldest_written_at": min(times) if times else None,
             "newest_written_at": max(times) if times else None,
             "total_run_seconds": sum(seconds),
         }
 
-    def tail(self, n: int = 10) -> List[Tuple[str, Dict[str, Any]]]:
-        """The last ``n`` completed cells, oldest of them first."""
+    def tail(
+        self, n: int = 10, status: Optional[str] = None
+    ) -> List[Tuple[str, Dict[str, Any]]]:
+        """The last ``n`` completed cells, oldest of them first.
+
+        ``status`` filters by recorded cell status (``"failed"`` surfaces what a
+        long sweep quarantined; ``"ok"`` hides it).
+        """
         if n <= 0:
             return []
-        return list(self.load().items())[-n:]
+        rows = list(self.load().items())
+        if status is not None:
+            rows = [(cid, record) for cid, record in rows if record_status(record) == status]
+        return rows[-n:]
 
 
 class JsonlResultStore(ResultStore):
@@ -447,10 +484,16 @@ def export_csv(store: ResultStore, handle: TextIO) -> int:
         }
     )
     writer = csv.writer(handle)
-    writer.writerow(["cell_id", "kind", "label", "plan", "oom", "seconds", *metric_keys])
+    writer.writerow(
+        [
+            "cell_id", "kind", "label", "plan", "oom", "status", "attempts",
+            "error", "seconds", *metric_keys,
+        ]
+    )
     for cell_id, record in records.items():
         result = record.get("result") or {}
         metrics = result.get("metrics") or {}
+        error = str(result.get("error") or "")
         writer.writerow(
             [
                 cell_id,
@@ -458,6 +501,11 @@ def export_csv(store: ResultStore, handle: TextIO) -> int:
                 result.get("label", ""),
                 result.get("plan", ""),
                 result.get("oom", ""),
+                result.get("status", "ok"),
+                record.get("attempts", ""),
+                # The last traceback line carries the exception; the full text
+                # would bloat the sheet and wreck column widths in spreadsheets.
+                error.strip().splitlines()[-1] if error.strip() else "",
                 record.get("seconds", ""),
                 *[metrics.get(key, "") for key in metric_keys],
             ]

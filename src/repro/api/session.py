@@ -26,6 +26,7 @@ from __future__ import annotations
 import atexit
 import os
 import time
+import traceback
 from typing import Any, Dict, Iterable, Iterator, Mapping, Optional, Union
 
 from repro.core import runtime
@@ -36,13 +37,34 @@ from repro.core.framework import Watos
 from repro.core.genetic import GeneticOptimizer
 from repro.core.hardware_dse import DieGranularityDse
 from repro.core.parallel_map import WorkerPool, resolve_workers
+from repro.core.retry import RetryPolicy
 from repro.api import registry
 from repro.api.result import RunResult
 from repro.api.results import ResultStore, make_record, open_result_store
 from repro.api.spec import ExperimentSpec
-from repro.api.sweep import SweepSpec, as_sweep_spec
+from repro.api.sweep import SweepCell, SweepSpec, as_sweep_spec
 
-__all__ = ["Session", "close_default_session", "default_session"]
+__all__ = [
+    "Session",
+    "SweepCellError",
+    "close_default_session",
+    "default_session",
+]
+
+
+class SweepCellError(RuntimeError):
+    """A sweep cell exhausted its retries under ``keep_going=False`` (fail-fast).
+
+    The failed cell was still recorded in the result store (so a later resume
+    knows about it) before the sweep aborted.
+    """
+
+    def __init__(self, cell_id: str, label: str, error: str) -> None:
+        reason = error.strip().splitlines()[-1] if error.strip() else "unknown error"
+        super().__init__(f"sweep cell {cell_id} ({label or 'unnamed'}) failed: {reason}")
+        self.cell_id = cell_id
+        self.label = label
+        self.error = error
 
 
 class Session:
@@ -85,6 +107,7 @@ class Session:
         compact_max_entries: Optional[int] = None,
         compact_max_age_s: Optional[float] = None,
         results: Optional[Union[str, os.PathLike, ResultStore]] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         if cache is not None and store is not None:
             raise ValueError("pass either cache= (adopted) or store= (owned), not both")
@@ -113,6 +136,9 @@ class Session:
         self.results: Optional[ResultStore] = (
             open_result_store(results) if self._owns_results else results
         )
+        #: Default :class:`RetryPolicy` for this session's sweeps (a ``sweep``
+        #: call's own ``retry=`` wins).  ``None`` means the built-in defaults.
+        self.retry = retry
         self._closed = False
 
     # ------------------------------------------------------------------ pool/cache
@@ -212,6 +238,9 @@ class Session:
         *,
         resume: bool = True,
         completed: Optional[set] = None,
+        retry: Optional[RetryPolicy] = None,
+        keep_going: bool = True,
+        skip_failed: bool = False,
     ) -> Iterable[RunResult]:
         """Stream a :class:`SweepSpec` matrix: yield each :class:`RunResult` as it
         completes, on one shared pool and one warm cache.
@@ -225,6 +254,18 @@ class Session:
         interrupted-and-resumed matrix stores byte-identical rows to a fresh run.
         ``completed=`` overrides the store lookup with a precomputed id set, so a
         caller that already read the store (the CLI) avoids a second full load.
+
+        **Fault tolerance.**  Each cell runs under ``retry`` (the call's policy,
+        else the session's, else :class:`RetryPolicy` defaults): a cell whose
+        attempt raises — a task exception, a worker crash the pool could not
+        absorb (:class:`~repro.core.parallel_map.WorkerCrashError`), or a
+        :class:`~repro.core.runtime.CellTimeout` from the policy's ``timeout_s``
+        — is retried with deterministic backoff, and after ``max_attempts`` it is
+        **quarantined**: yielded (and recorded) as a ``status="failed"``
+        :class:`RunResult` carrying the captured traceback, while the sweep moves
+        on.  ``keep_going=False`` (fail-fast) instead raises
+        :class:`SweepCellError` right after recording the failure.  On resume,
+        failed cells are re-attempted unless ``skip_failed=True``.
 
         A bare ``list`` of :class:`ExperimentSpec` still works exactly as before —
         wrapped as a trivial :class:`SweepSpec` after a one-time
@@ -263,7 +304,10 @@ class Session:
             store = self.results
         else:
             store = runtime.current_results()
-        stream = self._sweep_iter(cells, store, resume, owns_store, completed)
+        policy = retry or self.retry or RetryPolicy()
+        stream = self._sweep_iter(
+            cells, store, resume, owns_store, completed, policy, keep_going, skip_failed
+        )
         return list(stream) if legacy_list else stream
 
     def _sweep_iter(
@@ -272,24 +316,77 @@ class Session:
         store: Optional[ResultStore],
         resume: bool,
         owns_store: bool,
-        completed: Optional[set] = None,
+        completed: Optional[set],
+        retry: RetryPolicy,
+        keep_going: bool,
+        skip_failed: bool,
     ) -> Iterator[RunResult]:
         try:
             if not resume:
                 completed = set()
             elif completed is None:
-                completed = set(store.cell_ids()) if store is not None else set()
+                completed = (
+                    set(store.completed_ids(include_failed=skip_failed))
+                    if store is not None
+                    else set()
+                )
             for cell in cells:
                 if cell.cell_id in completed:
                     continue
-                run = self.run(cell.spec)
-                run.cell_id = cell.cell_id
+                run = self._run_cell(cell, retry)
                 if store is not None:
                     store.put(cell.cell_id, make_record(run, cell.spec))
+                if run.failed and not keep_going:
+                    raise SweepCellError(cell.cell_id, run.label, run.error)
                 yield run
         finally:
             if owns_store and store is not None:
                 store.close()
+
+    def _run_cell(self, cell, retry: RetryPolicy) -> RunResult:
+        """One sweep cell under the retry policy: attempt, back off, quarantine.
+
+        Every attempt is tagged with the cell id (the ambient
+        :func:`repro.core.runtime.task_tag`, which the chaos harness targets) and,
+        when the policy carries a ``timeout_s``, armed with a monotonic deadline
+        that the pool supervisor and the serial fallback both enforce.  Success
+        returns the (pure, bit-identical) run with only the volatile ``attempts``
+        counter reflecting the bumps; exhaustion returns a quarantined
+        ``status="failed"`` result carrying the last traceback instead of raising,
+        so one poison cell cannot sink the matrix.
+        """
+        spec = cell.spec
+        last_error = ""
+        attempt = 0
+        while True:
+            attempt += 1
+            runtime.set_task_tag(cell.cell_id)
+            if retry.timeout_s is not None:
+                runtime.set_deadline(time.monotonic() + retry.timeout_s)
+            try:
+                run = self.run(spec)
+            except Exception:
+                last_error = traceback.format_exc()
+            else:
+                run.cell_id = cell.cell_id
+                run.attempts = attempt
+                return run
+            finally:
+                runtime.set_task_tag("")
+                runtime.set_deadline(None)
+            if not retry.should_retry(attempt):
+                break
+            delay = retry.delay_s(attempt, cell.cell_id)
+            if delay > 0:
+                time.sleep(delay)
+        return RunResult(
+            kind=spec.kind,
+            label=spec.name or spec.kind,
+            cell_id=cell.cell_id,
+            status="failed",
+            error=last_error,
+            attempts=attempt,
+        )
 
     def _spec_parallel(self, spec: ExperimentSpec):
         """The parallelism a spec runs with: the session pool, else the spec's hint."""

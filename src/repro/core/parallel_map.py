@@ -20,6 +20,18 @@ module provides the execution runtime they share:
   parent's cache *directly* on the serial path (zero copies), the worker's resident
   shard inside a pool — and the runtime, not the task, moves cache state around.
 
+The pool is **supervised**: a worker killed mid-task (OOM, segfault, SIGKILL) is
+detected by dead-pipe/EOF, respawned in place, and the chunk it held is re-dispatched
+— :meth:`WorkerPool.map` returns complete results after a crash, bit-identical to a
+crash-free run, because pricing is pure.  A chunk that *repeatedly* kills its worker
+(a poison task) exhausts a bounded respawn budget and raises
+:class:`WorkerCrashError` instead of looping forever; the pool itself stays usable.
+A respawned worker's shard is merely cold: its watermark resets to zero, so the next
+delta sync re-seeds it from the parent through the ordinary ``export_since`` path.
+If a replacement worker cannot be forked at all (ulimits, fork bombs), the chunk —
+and, once every slot is dead, the whole map — degrades to in-process serial
+execution with a single warning instead of crashing the sweep.
+
 Conventions that keep results identical to the serial path:
 
 * mapping preserves input order, so selection logic downstream sees the same sequence;
@@ -38,7 +50,10 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 import traceback
+import warnings
+from multiprocessing import connection as mp_connection
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar, Union
 
 from repro.core import runtime
@@ -48,10 +63,13 @@ T = TypeVar("T")
 R = TypeVar("R")
 
 __all__ = [
+    "WorkerCrashError",
     "WorkerPool",
     "parallel_map",
     "parallel_map_merge",
     "resolve_workers",
+    "set_spawn_hook",
+    "set_task_hook",
     "task_cache",
 ]
 
@@ -59,6 +77,36 @@ __all__ = [
 #: resident shard inside a pool worker, the parent's shared cache on the serial path
 #: of :func:`parallel_map_merge`, ``None`` outside any fan-out context.
 _ACTIVE_CACHE: Optional[EvaluationCache] = None
+
+#: Worker-side fault-injection hook: ``hook(worker_index, task_no, tag)`` runs before
+#: every task (``task_no`` counts tasks over the worker process's lifetime, ``tag`` is
+#: the ambient :func:`repro.core.runtime.task_tag` the parent stamped on the map
+#: message).  Installed by the chaos harness; inherited by workers at fork time.
+_TASK_HOOK: Optional[Callable[[int, int, str], None]] = None
+#: Parent-side fault-injection hook: ``hook(worker_index)`` runs before every fork
+#: (initial spawns and respawns); raising simulates an unspawnable worker.
+_SPAWN_HOOK: Optional[Callable[[int], None]] = None
+
+
+def set_task_hook(hook: Optional[Callable[[int, int, str], None]]) -> None:
+    """Install (or clear) the worker-side per-task hook (see :mod:`repro.core.chaos`)."""
+    global _TASK_HOOK
+    _TASK_HOOK = hook
+
+
+def set_spawn_hook(hook: Optional[Callable[[int], None]]) -> None:
+    """Install (or clear) the parent-side spawn hook (see :mod:`repro.core.chaos`)."""
+    global _SPAWN_HOOK
+    _SPAWN_HOOK = hook
+
+
+class WorkerCrashError(RuntimeError):
+    """One map chunk killed its worker more times than the respawn budget allows.
+
+    Raised by :meth:`WorkerPool.map` after the poison chunk's worker has been
+    respawned (the pool stays usable); the sweep retry loop treats it like any
+    other failed attempt and eventually quarantines the offending cell.
+    """
 
 
 def task_cache() -> Optional[EvaluationCache]:
@@ -89,7 +137,7 @@ def _context():
 
 
 # ---------------------------------------------------------------------- worker side
-def _worker_main(task_conn, result_conn) -> None:
+def _worker_main(task_conn, result_conn, index: int = 0) -> None:
     """Loop of one long-lived pool worker: sync messages interleave with map work.
 
     The worker's resident shard lives here, across submissions; ``seed`` adopts a
@@ -107,6 +155,7 @@ def _worker_main(task_conn, result_conn) -> None:
     # must never resolve to it — nested pools would deadlock.
     runtime.reset_for_worker()
     shard: Optional[EvaluationCache] = None
+    tasks_seen = 0
     while True:
         try:
             message = task_conn.recv()
@@ -131,11 +180,17 @@ def _worker_main(task_conn, result_conn) -> None:
                 shard = EvaluationCache(max_entries=None)
         elif kind == "map":
             func, chunk, use_shard = message[1], message[2], message[3]
+            tag = message[4] if len(message) > 4 else ""
             if use_shard and shard is None:
                 shard = EvaluationCache(max_entries=None)
             _ACTIVE_CACHE = shard if use_shard else None
             try:
-                payloads = [func(item) for item in chunk]
+                payloads = []
+                for item in chunk:
+                    tasks_seen += 1
+                    if _TASK_HOOK is not None:
+                        _TASK_HOOK(index, tasks_seen, tag)
+                    payloads.append(func(item))
                 carry = shard.take_carry() if use_shard else None
                 result_conn.send(("ok", payloads, carry))
             except BaseException as exc:
@@ -150,7 +205,7 @@ def _worker_main(task_conn, result_conn) -> None:
 
 # ---------------------------------------------------------------------- parent side
 class WorkerPool:
-    """A long-lived fork pool with worker-resident evaluation-cache shards.
+    """A long-lived, supervised fork pool with worker-resident cache shards.
 
     Create one pool per search — or per whole experiment matrix — and pass it
     anywhere a ``parallel=`` argument accepts an integer::
@@ -166,22 +221,40 @@ class WorkerPool:
     the parent keeps one watermark per worker and an origin map so no entry is ever
     shipped twice to the same worker — :attr:`CacheStats.shipped` counts exactly the
     entries that crossed.  Pools are process-local and refuse to be pickled.
+
+    Supervision (see the module docstring): a worker that dies mid-task is respawned
+    and its chunk re-dispatched, up to ``chunk_retries`` respawns per chunk per map;
+    beyond that the map raises :class:`WorkerCrashError` while the pool stays whole.
+    ``pool.crashes`` / ``pool.respawns`` count lifetime fault events for tests and
+    observability.
     """
 
     def __init__(
         self,
         workers: Optional[int] = None,
         cache: Optional[EvaluationCache] = None,
+        *,
+        chunk_retries: int = 1,
     ) -> None:
         self.workers = resolve_workers(-1 if workers is None else workers)
+        #: How many times one chunk may kill (and have respawned) its worker within
+        #: a single :meth:`map` before the chunk is declared poison.
+        self.chunk_retries = max(0, chunk_retries)
+        #: Lifetime count of worker deaths the supervisor observed.
+        self.crashes = 0
+        #: Lifetime count of successful worker respawns.
+        self.respawns = 0
         self._cache: Optional[EvaluationCache] = None
         self._watermarks: List[int] = [0] * self.workers
         self._origin: Dict[str, int] = {}
-        self._procs: List[multiprocessing.Process] = []
+        self._procs: List[Optional[multiprocessing.Process]] = []
         self._task_conns: List[Any] = []
         self._result_conns: List[Any] = []
+        #: Slots whose worker could not be (re)spawned; served serially in-parent.
+        self._dead: List[bool] = [False] * self.workers
         self._started = False
         self._closed = False
+        self._warned_degraded = False
         if cache is not None:
             self.bind(cache)
 
@@ -189,50 +262,117 @@ class WorkerPool:
         raise TypeError("WorkerPool is process-local and cannot be pickled")
 
     # ------------------------------------------------------------------ lifecycle
+    def _spawn_worker(self, index: int):
+        """Fork one worker for ``index`` and return ``(proc, task_conn, result_conn)``.
+
+        Raises whatever the spawn hook or the OS raises; callers decide whether a
+        failure is fatal (initial start never is — the slot degrades to serial).
+        """
+        if _SPAWN_HOOK is not None:
+            _SPAWN_HOOK(index)
+        ctx = _context()
+        # Pipes, not queues: sends pickle synchronously in the sending process,
+        # so bad payloads raise where they can be handled instead of being
+        # dropped by a queue feeder thread (which would hang the other side).
+        task_parent, task_child = ctx.Pipe()
+        result_parent, result_child = ctx.Pipe()
+        proc = ctx.Process(
+            target=_worker_main, args=(task_child, result_child, index), daemon=True
+        )
+        proc.start()
+        task_child.close()
+        result_child.close()
+        return proc, task_parent, result_parent
+
     def _ensure_started(self) -> None:
         if self._closed:
             raise RuntimeError("WorkerPool is closed")
         if self._started:
             return
-        ctx = _context()
-        for _ in range(self.workers):
-            # Pipes, not queues: sends pickle synchronously in the sending process,
-            # so bad payloads raise where they can be handled instead of being
-            # dropped by a queue feeder thread (which would hang the other side).
-            task_parent, task_child = ctx.Pipe()
-            result_parent, result_child = ctx.Pipe()
-            proc = ctx.Process(
-                target=_worker_main, args=(task_child, result_child), daemon=True
-            )
-            proc.start()
-            task_child.close()
-            result_child.close()
-            self._procs.append(proc)
-            self._task_conns.append(task_parent)
-            self._result_conns.append(result_parent)
         self._started = True
+        for index in range(self.workers):
+            try:
+                proc, task_conn, result_conn = self._spawn_worker(index)
+            except Exception:  # unspawnable from the start: degrade, don't crash
+                self._procs.append(None)
+                self._task_conns.append(None)
+                self._result_conns.append(None)
+                self._dead[index] = True
+                continue
+            self._procs.append(proc)
+            self._task_conns.append(task_conn)
+            self._result_conns.append(result_conn)
         self._attach_read_through_store()
 
-    def close(self) -> None:
-        """Stop the workers and release their queues (idempotent)."""
+    def _respawn(self, index: int) -> bool:
+        """Replace the dead worker in slot ``index``; ``False`` if the fork failed.
+
+        The replacement starts with a cold shard: its watermark drops to zero so the
+        next delta sync re-seeds it through the ordinary ``export_since`` path, and
+        every origin record naming the dead worker is purged (the entries it priced
+        died with it — the new process must be shipped them like anyone else).
+        """
+        old = self._procs[index]
+        if old is not None:
+            old.join(timeout=1)
+        for conns in (self._task_conns, self._result_conns):
+            if conns[index] is not None:
+                try:
+                    conns[index].close()
+                except Exception:  # pragma: no cover - already broken
+                    pass
+        self._origin = {key: who for key, who in self._origin.items() if who != index}
+        self._watermarks[index] = 0
+        try:
+            proc, task_conn, result_conn = self._spawn_worker(index)
+        except Exception:
+            self._procs[index] = None
+            self._task_conns[index] = None
+            self._result_conns[index] = None
+            self._dead[index] = True
+            return False
+        self._procs[index] = proc
+        self._task_conns[index] = task_conn
+        self._result_conns[index] = result_conn
+        self._dead[index] = False
+        self.respawns += 1
+        cache = self._cache
+        if cache is not None and cache.read_through and cache.store is not None:
+            task_conn.send(("attach_store", cache.store.path, cache.store.namespace))
+        return True
+
+    def close(self, join_timeout: float = 5.0) -> None:
+        """Stop and reap the workers with bounded escalation (idempotent).
+
+        Each worker gets a cooperative ``stop`` and a bounded join; one that is
+        still alive is terminated, and one that shrugs off SIGTERM is killed — so a
+        wedged worker can never hang interpreter exit through the ``__del__`` /
+        ``atexit`` path.
+        """
         if self._closed:
             return
         self._closed = True
         if not self._started:
             return
         for proc, task_conn in zip(self._procs, self._task_conns):
-            if proc.is_alive():
+            if proc is not None and proc.is_alive() and task_conn is not None:
                 try:
                     task_conn.send(("stop",))
                 except Exception:  # pragma: no cover - broken pipe on dead worker
                     pass
         for proc in self._procs:
-            proc.join(timeout=5)
-            if proc.is_alive():  # pragma: no cover - stuck worker
+            if proc is None:
+                continue
+            proc.join(timeout=join_timeout)
+            if proc.is_alive():
                 proc.terminate()
                 proc.join(timeout=1)
+            if proc.is_alive():  # SIGTERM ignored/blocked: escalate to SIGKILL
+                proc.kill()
+                proc.join(timeout=1)
         for conn in self._task_conns + self._result_conns:
-            conn.close()
+            if conn is not None:
+                conn.close()
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -242,7 +382,7 @@ class WorkerPool:
 
     def __del__(self) -> None:  # pragma: no cover - GC safety net
         try:
-            self.close()
+            self.close(join_timeout=1.0)
         except Exception:
             pass
 
@@ -259,47 +399,74 @@ class WorkerPool:
         self._watermarks = [0] * self.workers
         self._origin = {}
         if self._started:
-            for task_conn in self._task_conns:
-                task_conn.send(("reset",))
+            for index, task_conn in enumerate(self._task_conns):
+                if task_conn is not None and not self._dead[index]:
+                    task_conn.send(("reset",))
             self._attach_read_through_store()
 
     def _attach_read_through_store(self) -> None:
         cache = self._cache
         if cache is None or not cache.read_through or cache.store is None:
             return
-        for task_conn in self._task_conns:
-            task_conn.send(("attach_store", cache.store.path, cache.store.namespace))
+        for index, task_conn in enumerate(self._task_conns):
+            if task_conn is not None and not self._dead[index]:
+                task_conn.send(("attach_store", cache.store.path, cache.store.namespace))
+
+    def _live_slots(self) -> List[int]:
+        return [index for index in range(self.workers) if not self._dead[index]]
 
     def _sync_shards(self, cache: EvaluationCache) -> None:
         """Ship each worker the entries priced since its watermark (delta-only).
 
-        Watermarks advance in lock-step (:meth:`bind` and this method set them all
-        together), so one export serves every worker — ``min()`` only guards a
-        hypothetical drift, where re-shipping is harmless (``seed`` ignores known
-        keys).  Only the origin filter is per-worker.
+        Watermarks normally advance in lock-step (:meth:`bind` and this method set
+        them together), so one export serves every worker and only the origin filter
+        is per-worker.  A respawned worker breaks the lock-step — its watermark is
+        back at zero — so drifted watermarks fall through to a per-worker export:
+        the replacement is re-seeded with the full resident history while its
+        healthy siblings still receive only the fresh delta.
         """
-        entries, seq = cache.export_since(min(self._watermarks))
-        self._watermarks = [seq] * self.workers
-        if not entries:
+        live = self._live_slots()
+        if not live:
             return
-        if not self._origin:
-            # The expensive case — first sync of a warm-started cache — sends the
-            # same (potentially large) delta everywhere: pickle once, fan bytes out.
-            blob = multiprocessing.reduction.ForkingPickler.dumps(("seed", entries))
-            for conn in self._task_conns:
-                conn.send_bytes(blob)
-            cache.stats.shipped += len(entries) * self.workers
+        marks = {self._watermarks[index] for index in live}
+        if len(marks) == 1:
+            entries, seq = cache.export_since(marks.pop())
+            for index in live:
+                self._watermarks[index] = seq
+            if not entries:
+                return
+            if not self._origin and len(live) == self.workers:
+                # The expensive case — first sync of a warm-started cache — sends
+                # the same (potentially large) delta everywhere: pickle once, fan
+                # bytes out.
+                blob = multiprocessing.reduction.ForkingPickler.dumps(("seed", entries))
+                for index in live:
+                    self._task_conns[index].send_bytes(blob)
+                cache.stats.shipped += len(entries) * len(live)
+                return
+            for index in live:
+                view = {
+                    key: value
+                    for key, value in entries.items()
+                    if self._origin.get(key) != index
+                }
+                if not view:
+                    continue
+                self._task_conns[index].send(("seed", view))
+                cache.stats.shipped += len(view)
             return
-        for index in range(self.workers):
+        # Drifted watermarks (a worker was respawned): per-worker incremental export.
+        for index in live:
+            entries, seq = cache.export_since(self._watermarks[index])
+            self._watermarks[index] = seq
             view = {
                 key: value
                 for key, value in entries.items()
                 if self._origin.get(key) != index
             }
-            if not view:
-                continue
-            self._task_conns[index].send(("seed", view))
-            cache.stats.shipped += len(view)
+            if view:
+                self._task_conns[index].send(("seed", view))
+                cache.stats.shipped += len(view)
 
     # ------------------------------------------------------------------ mapping
     def map(
@@ -315,6 +482,12 @@ class WorkerPool:
         dispatch and their carries folded back afterwards — through ``merge`` when
         given (e.g. entries-only absorption), else ``cache.absorb_carry`` — in
         worker-index order.  Items are split into contiguous, balanced chunks.
+
+        Worker deaths are survived (respawn + re-dispatch, see the class
+        docstring); a chunk that keeps killing workers raises
+        :class:`WorkerCrashError`, and an armed :func:`runtime.set_deadline` that
+        expires raises :class:`runtime.CellTimeout` after killing-and-respawning
+        the straggling workers.  Either way the pool remains usable.
         """
         items = list(items)
         if not items:
@@ -323,37 +496,110 @@ class WorkerPool:
         cache = self._cache if sync else None
         if cache is not None:
             self._sync_shards(cache)
-        active = min(self.workers, len(items))
-        chunks: List[Tuple[int, List[T]]] = []
+        live = self._live_slots()
+        if not live:
+            # Total pool collapse: serve the whole map in-process, once-warned.
+            return self._serial_map(func, items, cache, merge)
+        tag = runtime.task_tag()
+        use_shard = cache is not None
+        active = min(len(live), len(items))
+        slots = live[:active]
+        chunks: Dict[int, List[T]] = {}
         base, extra = divmod(len(items), active)
         lo = 0
-        for index in range(active):
-            hi = lo + base + (1 if index < extra else 0)
-            chunks.append((index, items[lo:hi]))
+        for position, slot in enumerate(slots):
+            hi = lo + base + (1 if position < extra else 0)
+            chunks[slot] = items[lo:hi]
             lo = hi
-        for index, chunk in chunks:
-            self._task_conns[index].send(("map", func, chunk, cache is not None))
+        for slot in slots:
+            self._task_conns[slot].send(("map", func, chunks[slot], use_shard, tag))
 
-        results: List[R] = []
+        payloads: Dict[int, List[R]] = {}
         carries: List[Tuple[int, Optional[Dict[str, Any]]]] = []
-        failure: Optional[Tuple[str, Optional[BaseException]]] = None
-        broken = False
+        pending: Dict[int, List[T]] = dict(chunks)
+        crashes: Dict[int, int] = {slot: 0 for slot in slots}
+        orphaned: Dict[int, List[T]] = {}  # slots lost to failed respawns
+        task_failure: Optional[Tuple[str, Optional[BaseException]]] = None
+        crash_failure: Optional[str] = None
+        timed_out = False
         try:
-            for index, _ in chunks:
-                try:
-                    status, payload, carry = self._receive(index)
-                except RuntimeError as exc:  # worker died; keep draining live ones
-                    if failure is None:
-                        failure = (str(exc), exc)
-                    broken = True
-                    continue
-                if status == "err":
-                    # Task raised (worker survived): drain the rest, stay usable.
-                    if failure is None:
-                        failure = (payload, carry)
-                    continue
-                results.extend(payload)
-                carries.append((index, carry))
+            while pending:
+                limit = runtime.deadline()
+                if limit is not None and time.monotonic() > limit:
+                    # Kill every straggler and respawn it: the attempt is over,
+                    # but the pool must survive for the retry.
+                    for slot in list(pending):
+                        proc = self._procs[slot]
+                        if proc is not None and proc.is_alive():
+                            proc.kill()
+                        self.crashes += 1
+                        self._respawn(slot)
+                        del pending[slot]
+                    timed_out = True
+                    break
+                conn_map = {self._result_conns[slot]: slot for slot in pending}
+                ready = mp_connection.wait(list(conn_map), timeout=0.2)
+                dead: List[int] = []
+                for conn in ready:
+                    slot = conn_map[conn]
+                    try:
+                        message = conn.recv()
+                    except EOFError:
+                        dead.append(slot)
+                        continue
+                    except Exception as exc:
+                        # recv_bytes preserved the message boundary, so the channel
+                        # is still aligned — only this chunk's result is lost to
+                        # the unpickle failure.
+                        message = (
+                            "err",
+                            f"failed to unpickle worker {slot}'s result: {exc!r}",
+                            None,
+                        )
+                    status, payload, carry = message
+                    del pending[slot]
+                    if status == "err":
+                        # Task raised (worker survived): drain the rest, stay usable.
+                        if task_failure is None:
+                            task_failure = (payload, carry)
+                    else:
+                        payloads[slot] = payload
+                        carries.append((slot, carry))
+                if not ready:
+                    # Nothing readable: sweep for silent deaths (a SIGKILLed
+                    # sibling whose pipe EOF we might otherwise miss).  Checking
+                    # *all* pending slots is what keeps several simultaneous
+                    # deaths from wedging the drain on one closed pipe.
+                    for slot in list(pending):
+                        proc = self._procs[slot]
+                        proc_dead = proc is None or not proc.is_alive()
+                        if proc_dead and not self._result_conns[slot].poll():
+                            dead.append(slot)
+                for slot in dead:
+                    if slot not in pending:
+                        continue
+                    self.crashes += 1
+                    crashes[slot] += 1
+                    alive = self._respawn(slot)
+                    if crashes[slot] > self.chunk_retries:
+                        # Poison chunk: stop feeding it workers.  The slot itself
+                        # was respawned above, so the *pool* stays whole.
+                        if crash_failure is None:
+                            crash_failure = (
+                                f"pool worker {slot} died mid-task "
+                                f"({crashes[slot]} crash(es) on the same chunk of "
+                                f"{len(pending[slot])} task(s); "
+                                f"respawn budget {self.chunk_retries} exhausted)"
+                            )
+                        del pending[slot]
+                    elif alive:
+                        self._task_conns[slot].send(
+                            ("map", func, pending[slot], use_shard, tag)
+                        )
+                    else:
+                        # No replacement worker to be had: fall back to pricing
+                        # this chunk in-process once the drain settles.
+                        orphaned[slot] = pending.pop(slot)
         except BaseException:
             # Anything escaping the drain (e.g. KeyboardInterrupt) leaves result
             # pipes with unread messages; a later map() would read stale payloads.
@@ -363,42 +609,97 @@ class WorkerPool:
         # Absorb the successful workers' carries even when another worker failed:
         # their shards already marked those entries as shipped (take_carry), so
         # dropping the carries here would lose the priced work for good.
-        for index, carry in carries:
+        carries.sort(key=lambda pair: pair[0])
+        for slot, carry in carries:
             if not carry:
                 continue
             for key in carry["delta"]:
-                self._origin[key] = index
+                self._origin[key] = slot
             if merge is not None:
                 merge(carry)
             elif cache is not None:
                 cache.absorb_carry(carry)
 
-        if failure is not None:
-            detail, exc = failure
-            if broken:
-                # A dead worker leaves the pool unschedulable; close it so later
-                # maps fail fast with "closed" instead of hanging on a ghost.
-                self.close()
+        for slot, chunk in orphaned.items():
+            if task_failure is not None or crash_failure is not None or timed_out:
+                break  # the map is failing anyway; don't run orphans serially
+            self._warn_degraded()
+            status, payload, exc = self._run_chunk_inline(func, chunk, cache)
+            if status == "err":
+                task_failure = (payload, exc)
+            else:
+                payloads[slot] = payload
+
+        if task_failure is not None:
+            detail, exc = task_failure
             if isinstance(exc, BaseException):
                 # Chain the worker-side traceback text: the re-raised exception's
                 # own stack ends here in the parent, which is useless on its own.
                 raise exc from RuntimeError(f"worker-side traceback:\n{detail}")
             raise RuntimeError(f"pool worker failed:\n{detail}")
+        if crash_failure is not None:
+            raise WorkerCrashError(crash_failure)
+        if timed_out:
+            raise runtime.CellTimeout(
+                "map overran its wall-clock budget; straggling workers were "
+                "killed and respawned"
+            )
+        results: List[R] = []
+        for slot in slots:
+            results.extend(payloads[slot])
         return results
 
-    def _receive(self, index: int):
-        conn = self._result_conns[index]
-        while not conn.poll(timeout=1.0):
-            if not self._procs[index].is_alive():
-                raise RuntimeError(f"pool worker {index} died mid-task")
+    # ------------------------------------------------------------- degraded serial
+    def _warn_degraded(self) -> None:
+        if self._warned_degraded:
+            return
+        self._warned_degraded = True
+        warnings.warn(
+            "WorkerPool could not (re)spawn workers; falling back to in-process "
+            "serial execution",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+    def _run_chunk_inline(
+        self, func: Callable[[T], R], chunk: Sequence[T], cache: Optional[EvaluationCache]
+    ):
+        """Price one chunk in the parent (last resort), against the parent cache.
+
+        Entries land directly in the shared cache — the exact serial-path
+        convention of :func:`parallel_map_merge` — so results stay bit-identical;
+        there is no carry to merge and no origin to record.
+        """
+        global _ACTIVE_CACHE
+        previous = _ACTIVE_CACHE
+        _ACTIVE_CACHE = cache
         try:
-            return conn.recv()
-        except EOFError:
-            raise RuntimeError(f"pool worker {index} died mid-task") from None
-        except Exception as exc:
-            # recv_bytes preserved the message boundary, so the channel is still
-            # aligned — only this chunk's result is lost to the unpickle failure.
-            return ("err", f"failed to unpickle worker {index}'s result: {exc!r}", None)
+            payloads = []
+            for item in chunk:
+                runtime.check_deadline()
+                payloads.append(func(item))
+            return "ok", payloads, None
+        except BaseException as exc:
+            return "err", traceback.format_exc(), exc
+        finally:
+            _ACTIVE_CACHE = previous
+
+    def _serial_map(
+        self,
+        func: Callable[[T], R],
+        items: Sequence[T],
+        cache: Optional[EvaluationCache],
+        merge: Optional[Callable[[Dict[str, Any]], None]],
+    ) -> List[R]:
+        """The whole-map fallback once every worker slot is unspawnable."""
+        del merge  # entries go straight into the parent cache; nothing to merge
+        self._warn_degraded()
+        status, payloads, exc = self._run_chunk_inline(func, items, cache)
+        if status == "err":
+            if isinstance(exc, BaseException):
+                raise exc
+            raise RuntimeError(f"pool worker failed:\n{payloads}")
+        return payloads
 
 
 # ---------------------------------------------------------------------- functional API
@@ -422,7 +723,11 @@ def parallel_map(
         return parallel.map(func, items, sync=False)
     workers = resolve_workers(parallel)
     if workers <= 1 or len(items) < 2:
-        return [func(item) for item in items]
+        results = []
+        for item in items:
+            runtime.check_deadline()
+            results.append(func(item))
+        return results
     with WorkerPool(min(workers, len(items))) as pool:
         return pool.map(func, items, sync=False)
 
@@ -455,7 +760,11 @@ def parallel_map_merge(
         previous = _ACTIVE_CACHE
         _ACTIVE_CACHE = cache
         try:
-            return [func(item) for item in items]
+            results = []
+            for item in items:
+                runtime.check_deadline()
+                results.append(func(item))
+            return results
         finally:
             _ACTIVE_CACHE = previous
     with WorkerPool(min(workers, len(items)), cache=cache) as pool:

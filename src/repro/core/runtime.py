@@ -26,17 +26,24 @@ acyclic: ``repro.core.* → repro.core.runtime ← repro.api``.
 
 from __future__ import annotations
 
+import time
 import warnings
 from typing import Any, List, Optional
 
 __all__ = [
+    "CellTimeout",
     "SessionHandle",
+    "check_deadline",
     "current_results",
     "current_session",
+    "deadline",
     "pop_session",
     "push_session",
     "reset_for_worker",
     "resolve_loop_session",
+    "set_deadline",
+    "set_task_tag",
+    "task_tag",
     "warn_legacy",
 ]
 
@@ -46,6 +53,54 @@ _ACTIVE_SESSIONS: List[Any] = []
 _DEFAULT_SESSION: Optional[Any] = None
 #: Legacy-kwarg call sites that already warned (DeprecationWarning fires once each).
 _WARNED: set = set()
+#: Ambient label of the unit of work currently executing (a sweep's cell id).  The
+#: pool forwards it to workers with every map message, so fault injectors (and any
+#: future tracing) can target work by *what* it is, not by racey wall-clock timing.
+_TASK_TAG: str = ""
+#: Monotonic deadline of the current attempt (``None`` = unbounded).  The pool
+#: supervisor and the serial map loops poll it via :func:`check_deadline`.
+_DEADLINE: Optional[float] = None
+
+
+class CellTimeout(RuntimeError):
+    """The current cell overran its :class:`~repro.core.retry.RetryPolicy` budget."""
+
+
+# ------------------------------------------------------------------ ambient attempt
+def set_task_tag(tag: str) -> None:
+    """Label the work dispatched from now on (sweeps tag each cell's attempt)."""
+    global _TASK_TAG
+    _TASK_TAG = str(tag or "")
+
+
+def task_tag() -> str:
+    """The ambient work label (empty outside a tagged region)."""
+    return _TASK_TAG
+
+
+def set_deadline(at: Optional[float]) -> None:
+    """Arm (or clear, with ``None``) the wall-clock deadline of the current attempt.
+
+    ``at`` is an absolute :func:`time.monotonic` timestamp.  The supervisor in
+    :meth:`WorkerPool.map` kills and respawns overdue workers; serial loops check
+    between items via :func:`check_deadline`.  Either way the overrun surfaces as
+    :class:`CellTimeout`, which the sweep retry loop treats as a failed attempt.
+    """
+    global _DEADLINE
+    _DEADLINE = at
+
+
+def deadline() -> Optional[float]:
+    """The armed deadline (monotonic seconds), or ``None``."""
+    return _DEADLINE
+
+
+def check_deadline() -> None:
+    """Raise :class:`CellTimeout` when the armed deadline has passed."""
+    if _DEADLINE is not None and time.monotonic() > _DEADLINE:
+        raise CellTimeout(
+            f"cell overran its wall-clock budget (deadline {_DEADLINE:.3f} passed)"
+        )
 
 
 class SessionHandle:
@@ -123,9 +178,13 @@ def reset_for_worker() -> None:
     pools would deadlock).  Workers price against :func:`parallel_map.task_cache`
     instead.
     """
-    global _DEFAULT_SESSION
+    global _DEFAULT_SESSION, _DEADLINE
     _ACTIVE_SESSIONS.clear()
     _DEFAULT_SESSION = None
+    # The parent's deadline is the *supervisor's* to enforce (it kills overdue
+    # workers); a forked copy ticking inside the worker would make task results
+    # depend on wall-clock timing.
+    _DEADLINE = None
 
 
 # ---------------------------------------------------------------------- legacy shims

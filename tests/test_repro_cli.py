@@ -105,13 +105,13 @@ class TestSweepCommand:
         # First invocation stops after one cell (a simulated kill mid-matrix).
         assert repro_main(["sweep", "--spec", str(spec), "--results", results,
                            "--max-cells", "1"]) == 0
-        assert "4 cells — 1 run, 0 already complete, 3 pending" in capsys.readouterr().out
+        assert "4 cells — 1 run, 0 failed, 0 already complete, 3 pending" in capsys.readouterr().out
 
         # The resumed invocation runs only the remaining cells.
         out = str(tmp_path / "sweep.json")
         assert repro_main(["sweep", "--spec", str(spec), "--results", results,
                            "--json", out]) == 0
-        assert "4 cells — 3 run, 1 already complete" in capsys.readouterr().out
+        assert "4 cells — 3 run, 0 failed, 1 already complete" in capsys.readouterr().out
         payload = json.loads(open(out).read())
         assert payload["cells"] == 4 and payload["skipped"] == 1
         assert len(payload["runs"]) == 3
@@ -127,7 +127,7 @@ class TestSweepCommand:
         results = str(tmp_path / "results.jsonl")
         assert repro_main(["sweep", "--spec", str(spec), "--results", results,
                            "--max-cells", "0"]) == 0
-        assert "4 cells — 0 run, 0 already complete, 4 pending" in capsys.readouterr().out
+        assert "4 cells — 0 run, 0 failed, 0 already complete, 4 pending" in capsys.readouterr().out
         assert not os.path.exists(results)  # nothing ran, nothing written
 
     def test_matrix_from_stdin(self, tmp_path, monkeypatch, capsys):
@@ -171,7 +171,7 @@ class TestResultsCommand:
         assert repro_main(["results", "export", results, "--csv", csv_out]) == 0
         rows = open(csv_out).read().strip().splitlines()
         assert len(rows) == 5  # header + one row per cell
-        assert rows[0].startswith("cell_id,kind,label,plan,oom,seconds,")
+        assert rows[0].startswith("cell_id,kind,label,plan,oom,status,attempts,error,seconds,")
         assert "throughput" in rows[0]
 
     def test_missing_store_fails_cleanly(self, tmp_path, capsys):

@@ -397,7 +397,10 @@ def test_csv_export_one_row_per_cell(tmp_path):
         out = io.StringIO()
         assert export_csv(store, out) == 2
     lines = out.getvalue().strip().splitlines()
-    assert lines[0] == "cell_id,kind,label,plan,oom,seconds,best_fitness,throughput"
+    assert lines[0] == (
+        "cell_id,kind,label,plan,oom,status,attempts,error,seconds,"
+        "best_fitness,throughput"
+    )
     assert len(lines) == 3
     assert lines[1].startswith("a,ga,a,") and lines[1].endswith(",1.5")
     assert ",0.25," in lines[2]

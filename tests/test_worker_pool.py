@@ -9,8 +9,11 @@ from __future__ import annotations
 
 import os
 import pickle
+import signal
 import sys
+import time
 from dataclasses import replace
+from functools import partial
 from pathlib import Path
 
 import pytest
@@ -21,7 +24,12 @@ from repro.core.evaluator import Evaluator
 from repro.core.framework import Watos
 from repro.core.genetic import GAConfig, GeneticOptimizer
 from repro.core.hardware_dse import DieGranularityDse
-from repro.core.parallel_map import WorkerPool, parallel_map, resolve_workers
+from repro.core.parallel_map import (
+    WorkerCrashError,
+    WorkerPool,
+    parallel_map,
+    resolve_workers,
+)
 from repro.hardware.faults import FaultModel
 from repro.workloads.workload import TrainingWorkload
 
@@ -251,6 +259,25 @@ def _exit_hard(value):
     os._exit(17)
 
 
+def _exit_once(token_path, value):
+    try:
+        fd = os.open(token_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return value * value
+    os.close(fd)
+    os._exit(17)
+
+
+def _wedge(token_path, value):
+    # Simulate a worker stuck in non-interruptible work: SIGTERM is shrugged off,
+    # so only close()'s SIGKILL escalation can reap it.
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    with open(token_path, "w", encoding="utf-8") as handle:
+        handle.write("wedged")
+    while True:
+        time.sleep(60)
+
+
 class TestWorkerPoolMechanics:
     def test_map_preserves_order(self):
         with WorkerPool(2) as pool:
@@ -283,17 +310,47 @@ class TestWorkerPoolMechanics:
                 pool.map(_unpicklable_result, [1, 2, 3])
             assert pool.map(_square, [2, 3]) == [4, 9]
 
-    def test_dead_worker_breaks_the_pool_fast(self):
-        # A worker death is unrecoverable: the map raises and the pool closes so
-        # later submissions fail fast instead of hanging on a ghost process.
+    def test_poison_chunk_exhausts_respawn_budget_and_pool_survives(self):
+        # Every chunk kills its worker on the first task, twice in a row (the
+        # dispatch plus one respawned re-dispatch): the supervisor gives up on the
+        # chunks, raises, but leaves the pool whole — both deaths were concurrent,
+        # so this also regresses the multi-death drain hang.
         pool = WorkerPool(2)
         try:
-            with pytest.raises(RuntimeError, match="died mid-task"):
+            with pytest.raises(WorkerCrashError, match="died mid-task"):
                 pool.map(_exit_hard, [1, 2, 3])
-            with pytest.raises(RuntimeError, match="closed"):
-                pool.map(_square, [1, 2])
+            assert pool.crashes >= 2 and pool.respawns >= 2
+            # The respawned workers serve follow-up submissions normally.
+            assert pool.map(_square, [1, 2]) == [1, 4]
         finally:
             pool.close()
+
+    def test_transient_crash_is_survived_with_complete_results(self, tmp_path):
+        # A worker killed once mid-task is respawned and its chunk re-dispatched:
+        # map returns complete, order-preserving results, identical to a crash-free
+        # run.  The kill token makes the crash strike exactly once.
+        token = tmp_path / "die-once"
+        with WorkerPool(2) as pool:
+            values = list(range(8))
+            out = pool.map(partial(_exit_once, str(token)), values)
+            assert out == [v * v for v in values]
+            assert pool.crashes == 1 and pool.respawns == 1
+
+    def test_close_reaps_wedged_worker_with_bounded_escalation(self, tmp_path):
+        # A worker that ignores SIGTERM must not hang interpreter exit: close()
+        # escalates join -> terminate -> kill, each bounded.
+        token = tmp_path / "wedged"
+        pool = WorkerPool(1)
+        pool._ensure_started()
+        pool._task_conns[0].send(("map", partial(_wedge, str(token)), [1], False, ""))
+        deadline = time.monotonic() + 10
+        while not token.exists() and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert token.exists(), "worker never reached its wedge"
+        start = time.monotonic()
+        pool.close(join_timeout=0.3)
+        assert time.monotonic() - start < 8
+        assert all(p is None or not p.is_alive() for p in pool._procs)
 
     def test_pool_refuses_to_pickle(self):
         with WorkerPool(1) as pool:
