@@ -257,7 +257,7 @@ def main(argv=None) -> int:
     # written through to a result store as it completes.
     sweep_spec = multiwafer_sweep(wafer, workload, args.wafers, config)
     cells = sweep_spec.expand()
-    session = Session(workers=args.parallel, store=args.cache)
+    session = Session(pool=args.parallel, store=args.cache)
     shared = session.cache
     loaded = shared.stats.loaded
     try:

@@ -125,7 +125,7 @@ def main(argv=None) -> int:
         # second, warm run: its per-generation cost is pure dispatch (every plan is
         # a cache hit), which is what "near-constant dispatch cost as the cache
         # grows" means operationally.
-        with Session(workers=args.parallel) as session:
+        with Session(pool=args.parallel) as session:
             par_time, par_outcome, par_eval = run_ga(
                 wafer, workload, config, fast=True, session=session
             )

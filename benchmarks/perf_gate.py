@@ -10,7 +10,9 @@ Two modes:
   - ``evals_per_sec`` — serial fast-path search throughput;
   - ``parallel_evals_per_sec`` — persistent-``WorkerPool`` search throughput;
   - ``multiwafer_warm_hit_rate`` — warm-start hit rate of a second multi-wafer GA
-    run against a persisted store (read from the ``--multiwafer`` metrics file).
+    run against a persisted store (read from the ``--multiwafer`` metrics file);
+  - ``sweep_cells_per_sec`` — two-level scheduler sweep throughput (read from the
+    ``--sweep`` metrics file written by ``bench_sweep_throughput.py``).
 
   The throughput metrics fail when they drop more than ``--max-drop`` (30 % by
   default) below the baseline value; the hit rate is machine-independent and is
@@ -19,7 +21,8 @@ Two modes:
       PYTHONPATH=src python benchmarks/bench_search_throughput.py --parallel 2 --json out.json
       PYTHONPATH=src python benchmarks/bench_fig24_multiwafer_ga.py --cache store.jsonl --json /dev/null ...
       PYTHONPATH=src python benchmarks/bench_fig24_multiwafer_ga.py --cache store.jsonl --json warm.json ...
-      python benchmarks/perf_gate.py --current out.json --multiwafer warm.json
+      PYTHONPATH=src python benchmarks/bench_sweep_throughput.py --json sweep.json
+      python benchmarks/perf_gate.py --current out.json --multiwafer warm.json --sweep sweep.json
 
 * **refresh** — re-measure on the current machine and rewrite the baseline.  The
   committed baseline is written with ``--headroom`` (default 0.5) on the throughput
@@ -50,6 +53,11 @@ HIT_RATE_HEADROOM = 0.05
 MULTIWAFER_ARGS = [
     "--wafers", "3", "--population", "6", "--generations", "6",
     "--parallel", "2", "--skip-verify",
+]
+#: The sweep-throughput measurement run used by both --refresh and the CI workflow
+#: (keep .github/workflows/ci.yml in sync when changing this).
+SWEEP_ARGS = [
+    "--cells", "8", "--population", "6", "--generations", "3", "--jobs", "2",
 ]
 
 
@@ -93,6 +101,7 @@ def check(
     baseline_path: str,
     max_drop: float,
     multiwafer_path: str = None,
+    sweep_path: str = None,
 ) -> int:
     current = load_json(current_path)
     baseline = load_json(baseline_path)
@@ -136,6 +145,29 @@ def check(
                     HIT_RATE_HEADROOM,
                 )
 
+    if "sweep_cells_per_sec" in baseline:
+        if sweep_path is None:
+            print("FAIL: baseline gates sweep_cells_per_sec but no --sweep "
+                  "metrics file was given")
+            failed = True
+        else:
+            sweep = load_json(sweep_path)
+            if not sweep.get("rows_match", False):
+                print("FAIL: sweep benchmark reports rows_match false — the "
+                      "scheduled sweep diverged from the serial walk")
+                return 1
+            if "cells_per_sec" not in sweep:
+                print(f"FAIL: metric 'cells_per_sec' missing from {sweep_path} — "
+                      "the JSON predates this gate; re-run the benchmark")
+                failed = True
+            else:
+                failed |= not _gate_one(
+                    "sweep_cells_per_sec",
+                    sweep["cells_per_sec"],
+                    baseline["sweep_cells_per_sec"],
+                    max_drop,
+                )
+
     if "speedup" in current:
         print(f"      cache speedup {current['speedup']:.1f}x, "
               f"hit rate {current.get('cache_hit_rate', 0.0):.1%}")
@@ -154,10 +186,12 @@ def refresh(out_path: str, headroom: float, population: int, generations: int) -
 
     from bench_fig24_multiwafer_ga import main as multiwafer_main
     from bench_search_throughput import main as bench_main
+    from bench_sweep_throughput import main as sweep_main
 
     tmpdir = tempfile.mkdtemp(prefix="perf-gate-")
     search_json = os.path.join(tmpdir, "search.json")
     warm_json = os.path.join(tmpdir, "multiwafer.json")
+    sweep_json = os.path.join(tmpdir, "sweep.json")
     store = os.path.join(tmpdir, "multiwafer.jsonl")
     try:
         status = bench_main(
@@ -171,13 +205,16 @@ def refresh(out_path: str, headroom: float, population: int, generations: int) -
             ) or multiwafer_main(
                 [*MULTIWAFER_ARGS, "--cache", store, "--json", warm_json]
             )
+        if status == 0:
+            status = sweep_main([*SWEEP_ARGS, "--json", sweep_json])
         if status != 0:
             print("FAIL: benchmark run failed; baseline not refreshed")
             return status
         measured = load_json(search_json)
         warm = load_json(warm_json)
+        sweep = load_json(sweep_json)
     finally:
-        for path in (search_json, warm_json, store):
+        for path in (search_json, warm_json, sweep_json, store):
             if os.path.exists(path):
                 os.unlink(path)
         os.rmdir(tmpdir)
@@ -186,9 +223,12 @@ def refresh(out_path: str, headroom: float, population: int, generations: int) -
         "evals_per_sec": measured["evals_per_sec"] * (1.0 - headroom),
         "parallel_evals_per_sec": measured["parallel_evals_per_sec"] * (1.0 - headroom),
         "multiwafer_warm_hit_rate": warm["cache_hit_rate"] * (1.0 - HIT_RATE_HEADROOM),
+        "sweep_cells_per_sec": sweep["cells_per_sec"] * (1.0 - headroom),
         "measured_evals_per_sec": measured["evals_per_sec"],
         "measured_parallel_evals_per_sec": measured["parallel_evals_per_sec"],
         "measured_multiwafer_warm_hit_rate": warm["cache_hit_rate"],
+        "measured_sweep_cells_per_sec": sweep["cells_per_sec"],
+        "sweep_speedup_at_refresh": sweep.get("sweep_speedup"),
         "headroom": headroom,
         "hit_rate_headroom": HIT_RATE_HEADROOM,
         "population": measured["population"],
@@ -205,7 +245,8 @@ def refresh(out_path: str, headroom: float, population: int, generations: int) -
     print(
         f"baseline refreshed: evals_per_sec gate {baseline['evals_per_sec']:,.0f}, "
         f"parallel gate {baseline['parallel_evals_per_sec']:,.0f}, "
-        f"warm hit-rate gate {baseline['multiwafer_warm_hit_rate']:.3f} -> {out_path}"
+        f"warm hit-rate gate {baseline['multiwafer_warm_hit_rate']:.3f}, "
+        f"sweep gate {baseline['sweep_cells_per_sec']:,.1f} cells/s -> {out_path}"
     )
     return 0
 
@@ -216,6 +257,8 @@ def main(argv=None) -> int:
                         help="metrics from bench_search_throughput.py --json")
     parser.add_argument("--multiwafer", metavar="JSON", default=None,
                         help="metrics from a warm bench_fig24_multiwafer_ga.py run")
+    parser.add_argument("--sweep", metavar="JSON", default=None,
+                        help="metrics from a bench_sweep_throughput.py run")
     parser.add_argument("--baseline", metavar="JSON", default=DEFAULT_BASELINE,
                         help="committed baseline (default: benchmarks/baseline.json)")
     parser.add_argument("--max-drop", type=float, default=0.30,
@@ -234,7 +277,9 @@ def main(argv=None) -> int:
         return refresh(args.baseline, args.headroom, args.population, args.generations)
     if not args.current:
         parser.error("--current is required unless --refresh is given")
-    return check(args.current, args.baseline, args.max_drop, args.multiwafer)
+    return check(
+        args.current, args.baseline, args.max_drop, args.multiwafer, args.sweep
+    )
 
 
 if __name__ == "__main__":

@@ -1,13 +1,16 @@
 #!/usr/bin/env python
 """CI chaos smoke: a sweep under seeded fault injection must land bit-identical.
 
-Runs one small GA matrix three times:
+Runs one small GA matrix four times:
 
 1. **reference** — fault-free, serial (the ground truth store);
 2. **chaotic** — a 2-worker pool with a seeded :class:`ChaosMonkey` killing one
    worker mid-matrix *and* stalling one tagged cell past its
    :class:`RetryPolicy` wall-clock budget (timeout → supervisor kill → retry);
-3. **resume** — the chaotic store re-swept, which must run zero cells.
+3. **resume** — the chaotic store re-swept, which must run zero cells;
+4. **scheduled** — the matrix again under the two-level scheduler (``jobs=2``,
+   cells concurrently in flight on one shared pool) with a fresh worker-kill
+   injection; the store must still match the reference bit-identically.
 
 The gate: every injection actually fired, every cell still completed with
 ``status="ok"``, and the chaotic store's deterministic rows are **byte-identical**
@@ -67,7 +70,7 @@ def main() -> int:
         with ChaosMonkey(os.path.join(tmp, "tokens"), seed=0) as chaos:
             chaos.kill(worker=1, at_task=2, times=1)  # crash mid-generation
             chaos.delay(30.0, tag=stalled, times=1)  # stall one cell past budget
-            with Session(workers=2) as session:
+            with Session(pool=2) as session:
                 runs = list(session.sweep(sweep, results=chaotic, retry=retry))
                 pool = session.pool
                 crashes, respawns = pool.crashes, pool.respawns
@@ -91,9 +94,30 @@ def main() -> int:
         if leftover:
             fail(f"resume re-ran {len(leftover)} cells of a complete store")
 
+        # Pass 4: the same matrix under the two-level scheduler, with its own
+        # chaos token dir so the kill budget is fresh while cells overlap.
+        scheduled = os.path.join(tmp, "scheduled.jsonl")
+        with ChaosMonkey(os.path.join(tmp, "tokens-jobs"), seed=0) as chaos:
+            chaos.kill(worker=1, at_task=2, times=1)
+            with Session(pool=2) as session:
+                runs = list(
+                    session.sweep(sweep, results=scheduled, retry=retry, jobs=2)
+                )
+                sched_crashes = session.pool.crashes
+        if chaos.claimed("kill") != 1:
+            fail("the jobs=2 worker-kill injection never fired")
+        if sched_crashes < 1:
+            fail(f"expected >=1 worker crash under jobs=2, saw {sched_crashes}")
+        bad = [run.cell_id for run in runs if run.status != "ok"]
+        if bad:
+            fail(f"cells quarantined under jobs=2 chaos: {bad}")
+        if rows(scheduled) != rows(reference):
+            fail("jobs=2 store is not bit-identical to the fault-free reference")
+
     print(
         f"chaos_smoke: OK — {len(cells)} cells bit-identical under "
-        f"{crashes} worker crash(es) and {respawns} respawn(s)"
+        f"{crashes} worker crash(es) and {respawns} respawn(s), "
+        f"and again with jobs=2 ({sched_crashes} crash(es))"
     )
     return 0
 

@@ -7,7 +7,7 @@ what to run; ``Session.run(spec)`` returns a uniform :class:`RunResult`.  The
 shell.
 
 >>> from repro.api import ExperimentSpec, Session
->>> with Session(workers=4, store="sweep.sqlite") as session:
+>>> with Session(pool=4, store="sweep.sqlite") as session:
 ...     run = session.run(ExperimentSpec(kind="ga", wafer="config3",
 ...                                      workload="llama2-30b"))
 ...     print(run.summary())
@@ -22,7 +22,7 @@ from repro.api.registry import (
     tiny_workload,
 )
 from repro.api.result import RunResult
-from repro.api.results import ResultStore, export_csv, open_result_store
+from repro.api.results import ResultStore, export_csv, open_result_store, open_store
 from repro.api.session import (
     Session,
     SweepCellError,
@@ -30,22 +30,27 @@ from repro.api.session import (
     default_session,
 )
 from repro.api.spec import ExperimentSpec
-from repro.api.sweep import SweepCell, SweepSpec
+from repro.api.sweep import ScheduleConfig, SweepCell, SweepSpec
+from repro.core.parallel_map import PoolConfig, WorkerPool
 from repro.core.retry import RetryPolicy
 
 __all__ = [
     "ExperimentSpec",
+    "PoolConfig",
     "ResultStore",
     "RetryPolicy",
     "RunResult",
+    "ScheduleConfig",
     "Session",
     "SweepCell",
     "SweepCellError",
     "SweepSpec",
+    "WorkerPool",
     "close_default_session",
     "default_session",
     "export_csv",
     "open_result_store",
+    "open_store",
     "register_wafer",
     "register_workload",
     "resolve_wafer",

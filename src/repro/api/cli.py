@@ -81,7 +81,7 @@ def add_session_arguments(parser: argparse.ArgumentParser) -> None:
 def session_from_args(args: argparse.Namespace) -> Session:
     """Build the session a CLI run executes on (see :func:`add_session_arguments`)."""
     return Session(
-        workers=args.workers,
+        pool=args.workers,
         store=args.store,
         read_through=getattr(args, "read_through", False),
         compact_on_exit=getattr(args, "compact_on_exit", False),
@@ -186,6 +186,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 retry=_retry_from_args(args),
                 keep_going=not args.fail_fast,
                 skip_failed=args.skip_failed,
+                jobs=args.jobs,
             )
             if args.max_cells is None or args.max_cells > 0:
                 for run in stream:
@@ -398,6 +399,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--skip-failed", action="store_true",
         help="on resume, leave previously failed cells alone instead of "
              "re-attempting them",
+    )
+    sweep.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="run up to N whole cells concurrently (two-level scheduling over "
+             "the shared pool); results and resume are identical to --jobs 1",
     )
     add_session_arguments(sweep)
     sweep.add_argument(

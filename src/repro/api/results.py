@@ -45,6 +45,7 @@ __all__ = [
     "export_csv",
     "make_record",
     "open_result_store",
+    "open_store",
     "record_status",
     "results_namespace",
 ]
@@ -466,6 +467,28 @@ def open_result_store(
     if str(path).lower().endswith(_SQLITE_SUFFIXES):
         return SqliteResultStore(str(path), namespace)
     return JsonlResultStore(str(path), namespace)
+
+
+def open_store(
+    path: Union[str, os.PathLike],
+    kind: str = "cache",
+    namespace: Optional[str] = None,
+):
+    """One dispatcher for both persistent store families.
+
+    ``kind="cache"`` opens an evaluation-cache store
+    (:func:`repro.core.evalcache.open_store`), ``kind="results"`` a sweep result
+    store (:func:`open_result_store`).  The path-suffix rules are identical for
+    both: ``.sqlite``/``.sqlite3``/``.db`` pick sqlite, anything else JSONL.  The
+    historical per-family names remain as thin aliases.
+    """
+    if kind == "results":
+        return open_result_store(path, namespace)
+    if kind == "cache":
+        from repro.core.evalcache import open_store as open_cache_store
+
+        return open_cache_store(str(path), namespace)
+    raise ValueError(f"kind must be 'cache' or 'results', not {kind!r}")
 
 
 def export_csv(store: ResultStore, handle: TextIO) -> int:

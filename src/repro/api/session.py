@@ -25,6 +25,8 @@ from __future__ import annotations
 
 import atexit
 import os
+import queue
+import threading
 import time
 import traceback
 from typing import Any, Dict, Iterable, Iterator, Mapping, Optional, Union
@@ -36,13 +38,13 @@ from repro.core.evaluator import Evaluator
 from repro.core.framework import Watos
 from repro.core.genetic import GeneticOptimizer
 from repro.core.hardware_dse import DieGranularityDse
-from repro.core.parallel_map import WorkerPool, resolve_workers
+from repro.core.parallel_map import PoolConfig, WorkerPool, resolve_workers
 from repro.core.retry import RetryPolicy
 from repro.api import registry
 from repro.api.result import RunResult
 from repro.api.results import ResultStore, make_record, open_result_store
 from repro.api.spec import ExperimentSpec
-from repro.api.sweep import SweepCell, SweepSpec, as_sweep_spec
+from repro.api.sweep import ScheduleConfig, SweepSpec, as_sweep_spec
 
 __all__ = [
     "Session",
@@ -72,10 +74,14 @@ class Session:
 
     Parameters
     ----------
+    pool:
+        The worker runtime shared by every loop this session runs: a
+        :class:`~repro.core.parallel_map.PoolConfig` (elastic sizing), a plain
+        worker count (``None``/0/1 serial, negative = all CPUs), or an existing
+        :class:`WorkerPool` to adopt (the caller owns and closes it).  The pool is
+        forked lazily on first use and joined when the session closes.
     workers:
-        Pool size shared by every loop this session runs.  ``None``/0/1 means
-        serial, negative means all CPUs.  The pool is forked lazily on first use
-        and joined when the session closes.
+        Deprecated alias of ``pool`` (warns once; kept for pre-PoolConfig callers).
     cache / store:
         Either an existing :class:`EvaluationCache` to adopt (flushed but not
         closed on exit — the caller owns it), or a store path (``.jsonl`` /
@@ -100,6 +106,7 @@ class Session:
         cache: Optional[EvaluationCache] = None,
         store: Optional[str] = None,
         *,
+        pool: Optional[Union[int, PoolConfig, WorkerPool]] = None,
         read_through: bool = False,
         max_entries: Optional[int] = 65536,
         namespace: Optional[str] = None,
@@ -111,6 +118,16 @@ class Session:
     ) -> None:
         if cache is not None and store is not None:
             raise ValueError("pass either cache= (adopted) or store= (owned), not both")
+        if workers is not None:
+            if pool is not None:
+                raise ValueError(
+                    "pass either pool= or the deprecated workers= alias, not both"
+                )
+            runtime.warn_legacy(
+                "Session(workers=...)",
+                hint="pass pool= (an int, PoolConfig or WorkerPool) instead",
+            )
+            pool = workers
         self._owns_cache = cache is None
         self.cache: EvaluationCache = (
             cache
@@ -122,11 +139,17 @@ class Session:
                 read_through=read_through,
             )
         )
-        self._adopted_pool = isinstance(workers, WorkerPool)
-        self._pool: Optional[WorkerPool] = workers if self._adopted_pool else None
-        self.workers: int = (
-            workers.workers if self._adopted_pool else resolve_workers(workers)
+        self._adopted_pool = isinstance(pool, WorkerPool)
+        self._pool: Optional[WorkerPool] = pool if self._adopted_pool else None
+        self._pool_config: Optional[PoolConfig] = (
+            pool if isinstance(pool, PoolConfig) else None
         )
+        if self._adopted_pool:
+            self.workers: int = pool.workers
+        elif self._pool_config is not None:
+            self.workers = self._pool_config.resolved()[1]
+        else:
+            self.workers = resolve_workers(pool)
         self.compact_on_exit = (
             compact_on_exit or compact_max_entries is not None or compact_max_age_s is not None
         )
@@ -139,6 +162,7 @@ class Session:
         #: Default :class:`RetryPolicy` for this session's sweeps (a ``sweep``
         #: call's own ``retry=`` wins).  ``None`` means the built-in defaults.
         self.retry = retry
+        self._pool_lock = threading.Lock()
         self._closed = False
 
     # ------------------------------------------------------------------ pool/cache
@@ -152,9 +176,11 @@ class Session:
         """
         if self._closed or self.workers <= 1:
             return None
-        if self._pool is None:
-            self._pool = WorkerPool(self.workers, cache=self.cache)
-        return self._pool
+        with self._pool_lock:  # concurrent cell threads must share one pool
+            if self._pool is None:
+                config = self._pool_config or PoolConfig(max_workers=self.workers)
+                self._pool = WorkerPool(cache=self.cache, config=config)
+            return self._pool
 
     @property
     def parallel(self) -> Optional[WorkerPool]:
@@ -241,6 +267,8 @@ class Session:
         retry: Optional[RetryPolicy] = None,
         keep_going: bool = True,
         skip_failed: bool = False,
+        jobs: Optional[int] = None,
+        schedule: Optional[ScheduleConfig] = None,
     ) -> Iterable[RunResult]:
         """Stream a :class:`SweepSpec` matrix: yield each :class:`RunResult` as it
         completes, on one shared pool and one warm cache.
@@ -266,6 +294,18 @@ class Session:
         on.  ``keep_going=False`` (fail-fast) instead raises
         :class:`SweepCellError` right after recording the failure.  On resume,
         failed cells are re-attempted unless ``skip_failed=True``.
+
+        **Two-level scheduling.**  ``jobs=N`` (or ``schedule=ScheduleConfig(...)``,
+        which also carries a ``max_buffered`` back-pressure bound; a ``jobs`` field
+        on the :class:`SweepSpec` itself is the fallback) runs up to N whole cells
+        concurrently on threads, while each running cell's search loop fans out on
+        the shared session pool — the pool leases slots per map call, so wide
+        fan-outs backfill capacity a narrow sibling leaves idle.  Results are
+        still yielded in cell order (out-of-order completions are buffered), rows
+        still stream to the store the moment a cell completes (possibly out of
+        order — resume and export key by ``cell_id`` and never cared about row
+        order), retry/quarantine still applies per cell, and every row is
+        bit-identical to the serial walk because pricing is pure.
 
         A bare ``list`` of :class:`ExperimentSpec` still works exactly as before —
         wrapped as a trivial :class:`SweepSpec` after a one-time
@@ -293,7 +333,18 @@ class Session:
             # The PR 4 contract was one result per spec, positionally — never
             # skip, even when a store already holds some of the cells.
             resume = False
-        cells = as_sweep_spec(sweep).expand()
+        spec = as_sweep_spec(sweep)
+        cells = spec.expand()
+        if schedule is not None and jobs is not None:
+            raise ValueError("pass either jobs= or schedule=ScheduleConfig(...), not both")
+        if jobs is not None and jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        effective_jobs = schedule.jobs if schedule is not None else jobs
+        if effective_jobs is None:
+            effective_jobs = spec.jobs if spec.jobs is not None else 1
+        if legacy_list:
+            effective_jobs = 1  # the positional-list contract predates scheduling
+        max_buffered = schedule.max_buffered if schedule is not None else None
         owns_store = isinstance(results, (str, os.PathLike))
         store: Optional[ResultStore]
         if owns_store:
@@ -305,9 +356,16 @@ class Session:
         else:
             store = runtime.current_results()
         policy = retry or self.retry or RetryPolicy()
-        stream = self._sweep_iter(
-            cells, store, resume, owns_store, completed, policy, keep_going, skip_failed
-        )
+        if effective_jobs > 1 and len(cells) > 1:
+            stream = self._sweep_parallel_iter(
+                cells, store, resume, owns_store, completed, policy, keep_going,
+                skip_failed, effective_jobs, max_buffered,
+            )
+        else:
+            stream = self._sweep_iter(
+                cells, store, resume, owns_store, completed, policy, keep_going,
+                skip_failed,
+            )
         return list(stream) if legacy_list else stream
 
     def _sweep_iter(
@@ -339,6 +397,135 @@ class Session:
                 if run.failed and not keep_going:
                     raise SweepCellError(cell.cell_id, run.label, run.error)
                 yield run
+        finally:
+            if owns_store and store is not None:
+                store.close()
+
+    def _sweep_parallel_iter(
+        self,
+        cells,
+        store: Optional[ResultStore],
+        resume: bool,
+        owns_store: bool,
+        completed: Optional[set],
+        retry: RetryPolicy,
+        keep_going: bool,
+        skip_failed: bool,
+        jobs: int,
+        max_buffered: Optional[int],
+    ) -> Iterator[RunResult]:
+        """Level 1 of the two-level scheduler: whole cells on concurrent threads.
+
+        Up to ``jobs`` cell threads claim work from a shared cursor and run the
+        ordinary :meth:`_run_cell` retry loop; inside each, the search loops fan
+        out on the shared session pool, which leases worker slots per map call —
+        so the matrix and the intra-cell parallelism share one set of workers.
+        Cell state that must not leak between siblings (task tag, attempt
+        deadline) is already thread-local in :mod:`repro.core.runtime`, and the
+        session cache is lock-protected, so threads only meet at the pool's slot
+        lease and the completion queue below.
+
+        Only this generator thread touches the result store: completions arrive on
+        a queue and are recorded immediately (rows may land out of cell order —
+        resume and export never depended on row order), while yields are buffered
+        back into cell order so the stream looks exactly like the serial walk.
+        Early consumer exit (or fail-fast) stops the cursor, then drains — cells
+        already in flight finish and their rows are recorded, matching the serial
+        walk's record-before-raise contract.
+        """
+        try:
+            if not resume:
+                completed = set()
+            elif completed is None:
+                completed = (
+                    set(store.completed_ids(include_failed=skip_failed))
+                    if store is not None
+                    else set()
+                )
+            todo = [cell for cell in cells if cell.cell_id not in completed]
+            if not todo:
+                return
+            done_queue: "queue.Queue" = queue.Queue()
+            cursor_lock = threading.Lock()
+            cursor = [0]
+            stop = threading.Event()
+            gate = threading.BoundedSemaphore(max_buffered) if max_buffered else None
+
+            def claim() -> Optional[int]:
+                with cursor_lock:
+                    if stop.is_set() or cursor[0] >= len(todo):
+                        return None
+                    position = cursor[0]
+                    cursor[0] += 1
+                    return position
+
+            def cell_worker() -> None:
+                while True:
+                    if gate is not None:
+                        # Timed re-checks instead of a bare acquire, so stopping
+                        # the sweep can never strand a thread on the semaphore.
+                        while not gate.acquire(timeout=0.05):
+                            if stop.is_set():
+                                return
+                    position = claim()
+                    if position is None:
+                        if gate is not None:
+                            gate.release()
+                        return
+                    cell = todo[position]
+                    try:
+                        run = self._run_cell(cell, retry)
+                    except BaseException as exc:  # _run_cell quarantines Exceptions
+                        done_queue.put((position, cell, None, exc))
+                        return
+                    done_queue.put((position, cell, run, None))
+
+            threads = [
+                threading.Thread(
+                    target=cell_worker, name=f"sweep-cell-{index}", daemon=True
+                )
+                for index in range(min(jobs, len(todo)))
+            ]
+            for thread in threads:
+                thread.start()
+            buffered: Dict[int, RunResult] = {}
+            next_yield = 0
+            received = 0
+            failure: Optional[SweepCellError] = None
+            try:
+                while received < len(todo) and failure is None:
+                    position, cell, run, exc = done_queue.get()
+                    received += 1
+                    if exc is not None:
+                        raise exc
+                    if store is not None:
+                        store.put(cell.cell_id, make_record(run, cell.spec))
+                    if gate is not None:
+                        gate.release()
+                    if run.failed and not keep_going:
+                        # Record first (done above), then fail fast: stop handing
+                        # out new cells; in-flight siblings drain in `finally`.
+                        failure = SweepCellError(cell.cell_id, run.label, run.error)
+                        break
+                    buffered[position] = run
+                    while next_yield in buffered:
+                        yield buffered.pop(next_yield)
+                        next_yield += 1
+                if failure is not None:
+                    raise failure
+            finally:
+                stop.set()
+                for thread in threads:
+                    thread.join()
+                # Record whatever was still in flight when we stopped early —
+                # completed pricing must reach the store, as in the serial walk.
+                while True:
+                    try:
+                        position, cell, run, exc = done_queue.get_nowait()
+                    except queue.Empty:
+                        break
+                    if run is not None and store is not None:
+                        store.put(cell.cell_id, make_record(run, cell.spec))
         finally:
             if owns_store and store is not None:
                 store.close()
@@ -529,7 +716,9 @@ def default_session(workers: Optional[int] = None, **kwargs: Any) -> Session:
     existing = runtime.get_default_session()
     if existing is not None and not existing.closed:
         return existing
-    session = Session(workers, **kwargs)
+    if workers is not None:  # the documented shorthand, not the deprecated kwarg
+        kwargs.setdefault("pool", workers)
+    session = Session(**kwargs)
     runtime.set_default_session(session)
     return session
 

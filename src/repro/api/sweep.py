@@ -38,7 +38,7 @@ from repro.core.evalcache import fingerprint
 from repro.core.genetic import GAConfig
 from repro.api.spec import ExperimentSpec, did_you_mean
 
-__all__ = ["SweepCell", "SweepSpec", "as_sweep_spec", "stream_seed"]
+__all__ = ["ScheduleConfig", "SweepCell", "SweepSpec", "as_sweep_spec", "stream_seed"]
 
 #: Dotted knob groups: ``ga.population`` etc. alias the flat ExperimentSpec fields.
 KNOB_GROUPS: Dict[str, Tuple[str, ...]] = {
@@ -182,6 +182,29 @@ class SweepCell(NamedTuple):
     spec: ExperimentSpec
 
 
+@dataclass(frozen=True)
+class ScheduleConfig:
+    """How ``Session.sweep`` schedules whole cells onto the runtime.
+
+    ``jobs`` is how many cells may be in flight at once (level 1 of the two-level
+    scheduler; each running cell's search loop still fans out on the shared pool).
+    ``max_buffered`` bounds how many completed-but-not-yet-yielded results the
+    in-order stream may hold before dispatch pauses — back-pressure for consumers
+    much slower than pricing (``None`` = unbounded).  Cell results, store rows and
+    resume behaviour are identical for every ``jobs`` value; only wall-clock
+    changes.
+    """
+
+    jobs: int = 1
+    max_buffered: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        if self.max_buffered is not None and self.max_buffered < 1:
+            raise ValueError("max_buffered must be at least 1 (or None for unbounded)")
+
+
 def cell_key(spec: ExperimentSpec) -> str:
     """The stable content-derived id of one cell.
 
@@ -223,13 +246,19 @@ class SweepSpec:
     seeds: int = 1
     name: str = ""
     specs: Optional[List[Union[Dict[str, Any], ExperimentSpec]]] = None
+    #: Default cell concurrency when the ``Session.sweep`` call passes neither
+    #: ``jobs=`` nor ``schedule=`` — a sweep file can declare "run me 4 cells
+    #: wide".  Purely a scheduling hint: results are identical for any value.
+    jobs: Optional[int] = None
 
     #: The keys :meth:`from_dict` accepts (everything else is a typo).
-    FIELDS = ("base", "grid", "zip", "seeds", "name", "specs")
+    FIELDS = ("base", "grid", "zip", "seeds", "name", "specs", "jobs")
 
     def __post_init__(self) -> None:
         if self.seeds < 1:
             raise ValueError("seeds must be at least 1")
+        if self.jobs is not None and self.jobs < 1:
+            raise ValueError("jobs must be at least 1 (or omitted for serial)")
         if self.specs is not None and (self.grid or self.zip or self.seeds != 1 or self.base):
             raise ValueError(
                 "specs= is an explicit cell list; it cannot be combined with "
@@ -398,6 +427,8 @@ class SweepSpec:
                 data["seeds"] = self.seeds
         if self.name:
             data["name"] = self.name
+        if self.jobs is not None:
+            data["jobs"] = self.jobs
         return data
 
 

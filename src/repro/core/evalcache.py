@@ -49,6 +49,7 @@ import json
 import os
 import sqlite3
 import tempfile
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import fields, is_dataclass
@@ -677,6 +678,10 @@ class EvaluationCache:
         #: cache pinning evicted values; :meth:`flush` prunes spilled keys so the
         #: set stays bounded on store-backed parents that never carry.
         self._unshipped: set = set()
+        #: Guards every structural mutation: the two-level sweep scheduler runs
+        #: cells on concurrent threads that all price against (and flush) the one
+        #: session cache.  Reentrant because flush/compact/close nest.
+        self._lock = threading.RLock()
         self.read_through = False
         self.store: Optional[CacheStore] = (
             open_store(store, namespace) if isinstance(store, (str, os.PathLike)) else store
@@ -708,41 +713,49 @@ class EvaluationCache:
         entry found there is adopted as seeded (it is the store's, not this cache's
         pricing) and counted as both a hit and a :attr:`CacheStats.store_hits`.
         """
-        entry = self._entries.get(key)
-        if entry is not None:
-            self._entries.move_to_end(key)
-            self.stats.hits += 1
-            return entry
-        if self.read_through and self.store is not None:
-            entry = self.store.get(key)
+        with self._lock:
+            entry = self._entries.get(key)
             if entry is not None:
-                self._adopt_from_store(key, entry)
+                self._entries.move_to_end(key)
                 self.stats.hits += 1
-                self.stats.store_hits += 1
                 return entry
-        self.stats.misses += 1
-        return None
+            if self.read_through and self.store is not None:
+                entry = self.store.get(key)
+                if entry is not None:
+                    self._adopt_from_store(key, entry)
+                    self.stats.hits += 1
+                    self.stats.store_hits += 1
+                    return entry
+            self.stats.misses += 1
+            return None
 
     def peek(self, key: str) -> Optional[Any]:
         """Like :meth:`get` but without touching the counters or LRU order."""
         return self._entries.get(key)
 
     def put(self, key: str, value: Any) -> None:
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        self._dirty[key] = value
-        self._unshipped.add(key)
-        self._priced_at[key] = time.time()
-        self._assign_seq(key)
-        if self.max_entries is not None and len(self._entries) > self.max_entries:
-            evicted, _ = self._entries.popitem(last=False)
-            self._entry_seq.pop(evicted, None)
-            if evicted not in self._dirty:
-                self._priced_at.pop(evicted, None)
-            self.stats.evictions += 1
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            self._dirty[key] = value
+            self._unshipped.add(key)
+            self._priced_at[key] = time.time()
+            self._assign_seq(key)
+            if self.max_entries is not None and len(self._entries) > self.max_entries:
+                evicted, _ = self._entries.popitem(last=False)
+                self._entry_seq.pop(evicted, None)
+                if evicted not in self._dirty:
+                    self._priced_at.pop(evicted, None)
+                self.stats.evictions += 1
 
     def get_or_compute(self, key: str, compute) -> Any:
-        """Return the cached value for ``key``, computing and storing it on a miss."""
+        """Return the cached value for ``key``, computing and storing it on a miss.
+
+        ``compute`` runs *outside* the lock: pricing is pure, so two threads
+        racing on the same miss at worst compute the value twice and store the
+        same bits — whereas holding the lock through a slow pricing call would
+        serialize every concurrent sweep cell.
+        """
         entry = self.get(key)
         if entry is not None:
             return entry
@@ -756,14 +769,15 @@ class EvaluationCache:
         The pricing sequence is *not* reset: it must stay monotonic so watermarks
         held by long-lived pool workers never see it regress.
         """
-        self._entries.clear()
-        self._dirty.clear()
-        self._seeded.clear()
-        self._unshipped.clear()
-        self._entry_seq.clear()
-        self._log_seqs.clear()
-        self._log_keys.clear()
-        self._priced_at.clear()
+        with self._lock:
+            self._entries.clear()
+            self._dirty.clear()
+            self._seeded.clear()
+            self._unshipped.clear()
+            self._entry_seq.clear()
+            self._log_seqs.clear()
+            self._log_keys.clear()
+            self._priced_at.clear()
 
     # ------------------------------------------------------------------ sequence log
     def _assign_seq(self, key: str) -> None:
@@ -798,7 +812,13 @@ class EvaluationCache:
         state = self.__dict__.copy()
         state["store"] = None
         state["read_through"] = False
+        # Locks are process-local (and unpicklable); the worker recreates one.
+        state["_lock"] = None
         return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
     def seed(self, entries: Mapping[str, Any]) -> int:
         """Adopt warm entries without touching hit/miss counters or the dirty set.
@@ -809,23 +829,25 @@ class EvaluationCache:
         result: when a persisted store has outgrown the bound, only the newest
         entries stay resident (the store keeps everything).
         """
-        adopted = 0
-        for key, value in entries.items():
-            if key not in self._entries:
-                self._entries[key] = value
-                self._assign_seq(key)
-                adopted += 1
-            self._seeded.add(key)
-        if self.max_entries is not None:
-            while len(self._entries) > self.max_entries:
-                evicted, _ = self._entries.popitem(last=False)
-                self._entry_seq.pop(evicted, None)
-                self.stats.evictions += 1
-        return adopted
+        with self._lock:
+            adopted = 0
+            for key, value in entries.items():
+                if key not in self._entries:
+                    self._entries[key] = value
+                    self._assign_seq(key)
+                    adopted += 1
+                self._seeded.add(key)
+            if self.max_entries is not None:
+                while len(self._entries) > self.max_entries:
+                    evicted, _ = self._entries.popitem(last=False)
+                    self._entry_seq.pop(evicted, None)
+                    self.stats.evictions += 1
+            return adopted
 
     def export(self) -> Dict[str, Any]:
         """A plain-dict snapshot of the current entries (for seeding workers)."""
-        return dict(self._entries)
+        with self._lock:
+            return dict(self._entries)
 
     @property
     def sync_seq(self) -> int:
@@ -842,35 +864,38 @@ class EvaluationCache:
         has already evicted are skipped (the store, not the workers, keeps history),
         and read-through adoptions never appear (workers read the same store file).
         """
-        if watermark >= self._seq:
-            return {}, self._seq
-        entries: Dict[str, Any] = {}
-        start = bisect.bisect_right(self._log_seqs, watermark)
-        for index in range(start, len(self._log_seqs)):
-            key = self._log_keys[index]
-            # Skip superseded log rows and evicted entries.
-            if self._entry_seq.get(key) == self._log_seqs[index] and key in self._entries:
-                entries[key] = self._entries[key]
-        return entries, self._seq
+        with self._lock:
+            if watermark >= self._seq:
+                return {}, self._seq
+            entries: Dict[str, Any] = {}
+            start = bisect.bisect_right(self._log_seqs, watermark)
+            for index in range(start, len(self._log_seqs)):
+                key = self._log_keys[index]
+                # Skip superseded log rows and evicted entries.
+                if self._entry_seq.get(key) == self._log_seqs[index] and key in self._entries:
+                    entries[key] = self._entries[key]
+            return entries, self._seq
 
     def delta(self) -> Dict[str, Any]:
         """Entries priced by *this* cache instance: everything not seeded into it."""
-        fresh = {k: v for k, v in self._entries.items() if k not in self._seeded}
-        # Include dirty entries the LRU has already evicted — they were still priced
-        # here and the parent/store wants them.
-        for key, value in self._dirty.items():
-            if key not in self._seeded:
-                fresh.setdefault(key, value)
-        return fresh
+        with self._lock:
+            fresh = {k: v for k, v in self._entries.items() if k not in self._seeded}
+            # Include dirty entries the LRU has already evicted — they were still
+            # priced here and the parent/store wants them.
+            for key, value in self._dirty.items():
+                if key not in self._seeded:
+                    fresh.setdefault(key, value)
+            return fresh
 
     def absorb(self, delta: Mapping[str, Any]) -> int:
         """Merge a worker's delta; new entries count toward the next :meth:`flush`."""
-        adopted = 0
-        for key, value in delta.items():
-            if key not in self._entries and key not in self._dirty:
-                self.put(key, value)
-                adopted += 1
-        return adopted
+        with self._lock:
+            adopted = 0
+            for key, value in delta.items():
+                if key not in self._entries and key not in self._dirty:
+                    self.put(key, value)
+                    adopted += 1
+            return adopted
 
     def carry(self) -> Dict[str, Any]:
         """What a worker ships back to the parent: its delta plus a counter snapshot."""
@@ -887,54 +912,59 @@ class EvaluationCache:
         since the last carry), not O(cache) — per-submission carry cost must not
         grow with the life of the shard.
         """
-        delta: Dict[str, Any] = {}
-        for key in self._unshipped:
-            if key in self._seeded:
-                continue
-            value = self._entries.get(key)
-            if value is None:
-                value = self._dirty.get(key)  # priced here but already LRU-evicted
-            if value is not None:
-                delta[key] = value
-        self._unshipped.clear()
-        counts = {name: getattr(self.stats, name) for name in CacheStats.COUNT_FIELDS}
-        increment = {
-            name: value - self._carry_counts.get(name, 0) for name, value in counts.items()
-        }
-        self._carry_counts = counts
-        self._seeded.update(delta)
-        return {"delta": delta, "stats": increment}
+        with self._lock:
+            delta: Dict[str, Any] = {}
+            for key in self._unshipped:
+                if key in self._seeded:
+                    continue
+                value = self._entries.get(key)
+                if value is None:
+                    value = self._dirty.get(key)  # priced here but already LRU-evicted
+                if value is not None:
+                    delta[key] = value
+            self._unshipped.clear()
+            counts = {name: getattr(self.stats, name) for name in CacheStats.COUNT_FIELDS}
+            increment = {
+                name: value - self._carry_counts.get(name, 0)
+                for name, value in counts.items()
+            }
+            self._carry_counts = counts
+            self._seeded.update(delta)
+            return {"delta": delta, "stats": increment}
 
     def absorb_carry(self, carry: Optional[Mapping[str, Any]]) -> None:
         """Fold a worker's :meth:`carry` into this cache (entries and counters)."""
         if carry is None:
             return
-        self.absorb(carry["delta"])
-        self.stats.add_counts(carry["stats"])
+        with self._lock:
+            self.absorb(carry["delta"])
+            self.stats.add_counts(carry["stats"])
 
     # ------------------------------------------------------------------ persistence
     def flush(self) -> int:
         """Spill entries priced since the last flush to the attached store."""
-        if self.store is None or not self._dirty:
-            return 0
-        self.store.append(
-            self._dirty, {k: self._priced_at[k] for k in self._dirty if k in self._priced_at}
-        )
-        written = len(self._dirty)
-        self.stats.flushed += written
-        self._seeded.update(self._dirty)
-        # Spilled keys can never be carried again (seeded); dropping them here
-        # keeps the unshipped set bounded on parents that flush but never carry.
-        self._unshipped.difference_update(self._dirty)
-        # Timestamps of spilled keys the LRU has already evicted now live in the
-        # store; dropping them keeps _priced_at bounded by the resident set on
-        # long store-backed sweeps (put() keeps dirty-but-evicted stamps alive
-        # only until this flush).
-        for key in self._dirty:
-            if key not in self._entries:
-                self._priced_at.pop(key, None)
-        self._dirty.clear()
-        return written
+        with self._lock:
+            if self.store is None or not self._dirty:
+                return 0
+            self.store.append(
+                self._dirty,
+                {k: self._priced_at[k] for k in self._dirty if k in self._priced_at},
+            )
+            written = len(self._dirty)
+            self.stats.flushed += written
+            self._seeded.update(self._dirty)
+            # Spilled keys can never be carried again (seeded); dropping them here
+            # keeps the unshipped set bounded on parents that flush but never carry.
+            self._unshipped.difference_update(self._dirty)
+            # Timestamps of spilled keys the LRU has already evicted now live in the
+            # store; dropping them keeps _priced_at bounded by the resident set on
+            # long store-backed sweeps (put() keeps dirty-but-evicted stamps alive
+            # only until this flush).
+            for key in self._dirty:
+                if key not in self._entries:
+                    self._priced_at.pop(key, None)
+            self._dirty.clear()
+            return written
 
     def compact(
         self,
@@ -962,25 +992,26 @@ class EvaluationCache:
 
         Returns the number of entries the store holds afterwards.
         """
-        if self.store is None:
-            return 0
-        self.flush()
-        entries = self.store.load()
-        times = dict(self.store.row_times)
-        for key, value in self._entries.items():
-            entries.pop(key, None)  # re-append so resident entries rank newest
-            entries[key] = value
-            if key in self._priced_at:
-                times[key] = self._priced_at[key]
-        if max_age_s is not None:
-            cutoff = (time.time() if now is None else now) - max_age_s
-            for key in [k for k in entries if times.get(k, 0.0) < cutoff]:
-                del entries[key]
-        if max_entries is not None and max_entries > 0 and len(entries) > max_entries:
-            for key in list(entries)[: len(entries) - max_entries]:
-                del entries[key]
-        self.store.replace_all(entries, {k: times[k] for k in entries if k in times})
-        return len(entries)
+        with self._lock:
+            if self.store is None:
+                return 0
+            self.flush()
+            entries = self.store.load()
+            times = dict(self.store.row_times)
+            for key, value in self._entries.items():
+                entries.pop(key, None)  # re-append so resident entries rank newest
+                entries[key] = value
+                if key in self._priced_at:
+                    times[key] = self._priced_at[key]
+            if max_age_s is not None:
+                cutoff = (time.time() if now is None else now) - max_age_s
+                for key in [k for k in entries if times.get(k, 0.0) < cutoff]:
+                    del entries[key]
+            if max_entries is not None and max_entries > 0 and len(entries) > max_entries:
+                for key in list(entries)[: len(entries) - max_entries]:
+                    del entries[key]
+            self.store.replace_all(entries, {k: times[k] for k in entries if k in times})
+            return len(entries)
 
     def close(self) -> None:
         """Flush and release the attached store (no-op without one)."""

@@ -4,9 +4,12 @@ All the searchers are embarrassingly parallel across candidates: each candidate 
 priced by a pure function of picklable inputs (wafer/workload/plan dataclasses).  This
 module provides the execution runtime they share:
 
-* :class:`WorkerPool` — a **long-lived** fork pool that survives an entire search (or a
-  whole experiment matrix).  Each worker owns a private, *resident*
-  :class:`~repro.core.evalcache.EvaluationCache` shard that persists across
+* :class:`WorkerPool` — a **long-lived**, **elastic** fork pool that survives an
+  entire search (or a whole experiment matrix).  Sizing is described by a
+  :class:`PoolConfig` (``min_workers`` … ``max_workers``): the pool forks
+  ``min_workers`` up front, grows toward ``max_workers`` under queue pressure and
+  shrinks back after ``idle_shrink_s`` of slot idleness.  Each worker owns a private,
+  *resident* :class:`~repro.core.evalcache.EvaluationCache` shard that persists across
   submissions.  Shards are seeded once when the pool first syncs, and thereafter kept
   coherent **delta-only** in both directions: the parent ships entries priced since a
   per-worker watermark (:meth:`EvaluationCache.export_since`), and workers ship back
@@ -19,6 +22,15 @@ module provides the execution runtime they share:
   tasks price whole points against the cache returned by :func:`task_cache` — the
   parent's cache *directly* on the serial path (zero copies), the worker's resident
   shard inside a pool — and the runtime, not the task, moves cache state around.
+
+:meth:`WorkerPool.map` is **thread-safe**: the two-level sweep scheduler runs whole
+cells on concurrent threads, and each cell's search loop maps onto the same shared
+pool.  A map call *leases* a fair share of the idle worker slots (``ceil(workers /
+concurrent maps)``, at least one), supervises only its leased slots, and releases
+them when the chunks drain — so wide fan-outs backfill idle capacity and a narrow
+cell can never starve its siblings.  The per-attempt deadline and task tag are
+thread-local (:mod:`repro.core.runtime`), so one cell's timeout kills only the
+workers *its* map leased.
 
 The pool is **supervised**: a worker killed mid-task (OOM, segfault, SIGKILL) is
 detected by dead-pipe/EOF, respawned in place, and the chunk it held is re-dispatched
@@ -50,9 +62,11 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
 import time
 import traceback
 import warnings
+from dataclasses import dataclass
 from multiprocessing import connection as mp_connection
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar, Union
 
@@ -63,6 +77,7 @@ T = TypeVar("T")
 R = TypeVar("R")
 
 __all__ = [
+    "PoolConfig",
     "WorkerCrashError",
     "WorkerPool",
     "parallel_map",
@@ -73,10 +88,12 @@ __all__ = [
     "task_cache",
 ]
 
-#: The evaluation cache fan-out tasks should price against right now: the worker's
-#: resident shard inside a pool worker, the parent's shared cache on the serial path
-#: of :func:`parallel_map_merge`, ``None`` outside any fan-out context.
-_ACTIVE_CACHE: Optional[EvaluationCache] = None
+#: Per-thread fan-out context.  ``cache`` is the evaluation cache tasks should price
+#: against right now: the worker's resident shard inside a pool worker, the parent's
+#: shared cache on the serial path of :func:`parallel_map_merge`, ``None`` outside
+#: any fan-out context.  Thread-local so concurrent sweep-cell threads pricing
+#: serially never see each other's context.
+_TLS = threading.local()
 
 #: Worker-side fault-injection hook: ``hook(worker_index, task_no, tag)`` runs before
 #: every task (``task_no`` counts tasks over the worker process's lifetime, ``tag`` is
@@ -84,7 +101,7 @@ _ACTIVE_CACHE: Optional[EvaluationCache] = None
 #: message).  Installed by the chaos harness; inherited by workers at fork time.
 _TASK_HOOK: Optional[Callable[[int, int, str], None]] = None
 #: Parent-side fault-injection hook: ``hook(worker_index)`` runs before every fork
-#: (initial spawns and respawns); raising simulates an unspawnable worker.
+#: (initial spawns, growth and respawns); raising simulates an unspawnable worker.
 _SPAWN_HOOK: Optional[Callable[[int], None]] = None
 
 
@@ -111,14 +128,14 @@ class WorkerCrashError(RuntimeError):
 
 def task_cache() -> Optional[EvaluationCache]:
     """The cache the current fan-out task should evaluate against (or ``None``)."""
-    return _ACTIVE_CACHE
+    return getattr(_TLS, "cache", None)
 
 
 def resolve_workers(parallel: Union[int, "WorkerPool", None]) -> int:
     """Normalise a ``parallel=`` argument to an effective worker count.
 
     ``None``, 0 and 1 mean serial; negative values mean "use every available CPU";
-    a :class:`WorkerPool` means that pool's size.
+    a :class:`WorkerPool` means that pool's capacity (``max_workers``).
     """
     if parallel is None:
         return 1
@@ -127,6 +144,41 @@ def resolve_workers(parallel: Union[int, "WorkerPool", None]) -> int:
     if parallel < 0:
         return max(1, os.cpu_count() or 1)
     return max(1, parallel)
+
+
+@dataclass(frozen=True)
+class PoolConfig:
+    """Declarative sizing and supervision knobs of a :class:`WorkerPool`.
+
+    ``max_workers`` is the slot capacity (``None`` = every available CPU, negative
+    likewise); ``min_workers`` is how many workers fork up front and survive idle
+    shrinking (``None`` = same as ``max_workers``, i.e. a fixed-size pool — the
+    pre-elastic behaviour).  With ``min_workers < max_workers`` the pool is
+    *elastic*: a map call that finds fewer idle workers than its fair share grows
+    the pool toward capacity, and slots idle longer than ``idle_shrink_s`` seconds
+    are reaped back down to ``min_workers`` (``None`` = never shrink).
+    ``chunk_retries`` bounds how many times one map chunk may kill (and have
+    respawned) its worker before the chunk is declared poison.
+    """
+
+    min_workers: Optional[int] = None
+    max_workers: Optional[int] = None
+    idle_shrink_s: Optional[float] = None
+    chunk_retries: int = 1
+
+    def __post_init__(self) -> None:
+        if self.chunk_retries < 0:
+            raise ValueError("chunk_retries cannot be negative")
+        if self.idle_shrink_s is not None and self.idle_shrink_s < 0:
+            raise ValueError("idle_shrink_s cannot be negative")
+
+    def resolved(self) -> Tuple[int, int]:
+        """The effective ``(min_workers, max_workers)`` pair on this machine."""
+        upper = resolve_workers(-1 if self.max_workers is None else self.max_workers)
+        if self.min_workers is None:
+            return upper, upper
+        lower = min(resolve_workers(self.min_workers), upper)
+        return max(1, lower), upper
 
 
 def _context():
@@ -149,11 +201,11 @@ def _worker_main(task_conn, result_conn, index: int = 0) -> None:
     the fallback below can still ship the traceback — a queue's feeder thread would
     drop the message silently and leave the parent waiting forever.
     """
-    global _ACTIVE_CACHE
     # The fork copied the parent's session state (active stack, default session);
     # any pool it references is unusable here, and a bare loop call inside a task
     # must never resolve to it — nested pools would deadlock.
     runtime.reset_for_worker()
+    _TLS.cache = None
     shard: Optional[EvaluationCache] = None
     tasks_seen = 0
     while True:
@@ -183,7 +235,7 @@ def _worker_main(task_conn, result_conn, index: int = 0) -> None:
             tag = message[4] if len(message) > 4 else ""
             if use_shard and shard is None:
                 shard = EvaluationCache(max_entries=None)
-            _ACTIVE_CACHE = shard if use_shard else None
+            _TLS.cache = shard if use_shard else None
             try:
                 payloads = []
                 for item in chunk:
@@ -200,33 +252,41 @@ def _worker_main(task_conn, result_conn, index: int = 0) -> None:
                 except Exception:  # unpicklable payload/exception: ship the text
                     result_conn.send(("err", detail, None))
             finally:
-                _ACTIVE_CACHE = None
+                _TLS.cache = None
 
 
 # ---------------------------------------------------------------------- parent side
 class WorkerPool:
-    """A long-lived, supervised fork pool with worker-resident cache shards.
+    """A long-lived, supervised, elastic fork pool with worker-resident cache shards.
 
     Create one pool per search — or per whole experiment matrix — and pass it
     anywhere a ``parallel=`` argument accepts an integer::
 
-        with WorkerPool(8, cache=shared_cache) as pool:
+        with WorkerPool(cache=shared_cache, config=PoolConfig(max_workers=8)) as pool:
             ga.optimize(seed_plan, parallel=pool)
             scheduler.explore(workload, parallel=pool)
             dse.sweep(parallel=pool)
 
-    The pool forks its workers once, on first use.  :meth:`bind` attaches the shared
-    :class:`EvaluationCache` whose contents the shards mirror; binding a *different*
-    cache resets the shards (correct, merely cold).  Entries always flow as deltas:
-    the parent keeps one watermark per worker and an origin map so no entry is ever
-    shipped twice to the same worker — :attr:`CacheStats.shipped` counts exactly the
-    entries that crossed.  Pools are process-local and refuse to be pickled.
+    Sizing comes from a :class:`PoolConfig`; the legacy bare-int form
+    (``WorkerPool(8)``) still works behind a one-time :class:`DeprecationWarning`
+    and means a fixed pool (``min == max``).  ``min_workers`` fork on first use;
+    elastic pools grow toward ``max_workers`` when a map finds too few idle slots
+    and shrink back after ``idle_shrink_s`` of idleness (``pool.grows`` /
+    ``pool.shrinks`` count the transitions).
+
+    :meth:`bind` attaches the shared :class:`EvaluationCache` whose contents the
+    shards mirror; binding a *different* cache resets the shards (correct, merely
+    cold — but never re-bind while maps are in flight).  Entries always flow as
+    deltas: the parent keeps one watermark per worker and an origin map so no entry
+    is ever shipped twice to the same worker — :attr:`CacheStats.shipped` counts
+    exactly the entries that crossed.  Pools are process-local and refuse pickling.
 
     Supervision (see the module docstring): a worker that dies mid-task is respawned
     and its chunk re-dispatched, up to ``chunk_retries`` respawns per chunk per map;
     beyond that the map raises :class:`WorkerCrashError` while the pool stays whole.
     ``pool.crashes`` / ``pool.respawns`` count lifetime fault events for tests and
-    observability.
+    observability.  :meth:`map` may be called from several threads at once; each
+    call leases its fair share of idle slots and supervises only those.
     """
 
     def __init__(
@@ -234,16 +294,41 @@ class WorkerPool:
         workers: Optional[int] = None,
         cache: Optional[EvaluationCache] = None,
         *,
-        chunk_retries: int = 1,
+        chunk_retries: Optional[int] = None,
+        config: Optional[PoolConfig] = None,
     ) -> None:
-        self.workers = resolve_workers(-1 if workers is None else workers)
+        if config is not None:
+            if workers is not None or chunk_retries is not None:
+                raise ValueError(
+                    "pass either config=PoolConfig(...) or the legacy "
+                    "workers=/chunk_retries= knobs, not both"
+                )
+        else:
+            if workers is not None or chunk_retries is not None:
+                runtime.warn_legacy(
+                    "WorkerPool(workers=int)",
+                    hint="pass config=PoolConfig(max_workers=..., chunk_retries=...) "
+                    "instead",
+                )
+            config = PoolConfig(
+                max_workers=workers,
+                chunk_retries=1 if chunk_retries is None else chunk_retries,
+            )
+        #: The :class:`PoolConfig` this pool was built from.
+        self.config = config
+        self.min_workers, self.workers = config.resolved()
+        self.idle_shrink_s = config.idle_shrink_s
         #: How many times one chunk may kill (and have respawned) its worker within
         #: a single :meth:`map` before the chunk is declared poison.
-        self.chunk_retries = max(0, chunk_retries)
+        self.chunk_retries = max(0, config.chunk_retries)
         #: Lifetime count of worker deaths the supervisor observed.
         self.crashes = 0
         #: Lifetime count of successful worker respawns.
         self.respawns = 0
+        #: Lifetime count of elastic slot growths (queue-pressure spawns).
+        self.grows = 0
+        #: Lifetime count of elastic slot shrinks (idle reaps).
+        self.shrinks = 0
         self._cache: Optional[EvaluationCache] = None
         self._watermarks: List[int] = [0] * self.workers
         self._origin: Dict[str, int] = {}
@@ -252,6 +337,15 @@ class WorkerPool:
         self._result_conns: List[Any] = []
         #: Slots whose worker could not be (re)spawned; served serially in-parent.
         self._dead: List[bool] = [False] * self.workers
+        #: Slots currently holding a live worker process (elastic pools keep cold
+        #: slots unspawned until queue pressure grows them).
+        self._spawned: List[bool] = [False] * self.workers
+        #: Slots currently leased by an in-flight :meth:`map` call.
+        self._busy: List[bool] = [False] * self.workers
+        self._idle_since: List[float] = [0.0] * self.workers
+        self._active_maps = 0
+        self._lock = threading.RLock()
+        self._slot_free = threading.Condition(self._lock)
         self._started = False
         self._closed = False
         self._warned_degraded = False
@@ -284,25 +378,109 @@ class WorkerPool:
         result_child.close()
         return proc, task_parent, result_parent
 
+    def _spawn_into(self, index: int) -> bool:
+        """Fork a worker into slot ``index``; ``False`` marks the slot dead."""
+        try:
+            proc, task_conn, result_conn = self._spawn_worker(index)
+        except Exception:  # unspawnable: degrade, don't crash
+            self._procs[index] = None
+            self._task_conns[index] = None
+            self._result_conns[index] = None
+            self._spawned[index] = False
+            self._dead[index] = True
+            return False
+        self._procs[index] = proc
+        self._task_conns[index] = task_conn
+        self._result_conns[index] = result_conn
+        self._spawned[index] = True
+        self._dead[index] = False
+        self._idle_since[index] = time.monotonic()
+        return True
+
     def _ensure_started(self) -> None:
-        if self._closed:
-            raise RuntimeError("WorkerPool is closed")
-        if self._started:
-            return
-        self._started = True
-        for index in range(self.workers):
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("WorkerPool is closed")
+            if self._started:
+                return
+            self._started = True
+            self._procs = [None] * self.workers
+            self._task_conns = [None] * self.workers
+            self._result_conns = [None] * self.workers
+            for index in range(self.min_workers):
+                self._spawn_into(index)
+            self._attach_read_through_store()
+
+    def _grow_slot(self, index: int) -> bool:
+        """Spawn a cold slot under queue pressure (caller holds the lock)."""
+        if not self._spawn_into(index):
+            return False
+        self.grows += 1
+        self._watermarks[index] = 0
+        cache = self._cache
+        if cache is not None and cache.read_through and cache.store is not None:
+            self._task_conns[index].send(
+                ("attach_store", cache.store.path, cache.store.namespace)
+            )
+        return True
+
+    def _stop_slot(self, index: int) -> None:
+        """Reap one idle slot back to cold (caller holds the lock)."""
+        task_conn = self._task_conns[index]
+        if task_conn is not None:
             try:
-                proc, task_conn, result_conn = self._spawn_worker(index)
-            except Exception:  # unspawnable from the start: degrade, don't crash
-                self._procs.append(None)
-                self._task_conns.append(None)
-                self._result_conns.append(None)
-                self._dead[index] = True
+                task_conn.send(("stop",))
+            except Exception:  # pragma: no cover - already broken
+                pass
+        proc = self._procs[index]
+        if proc is not None:
+            proc.join(timeout=1)
+            if proc.is_alive():  # pragma: no cover - wedged idle worker
+                proc.terminate()
+                proc.join(timeout=1)
+        for conns in (self._task_conns, self._result_conns):
+            if conns[index] is not None:
+                try:
+                    conns[index].close()
+                except Exception:  # pragma: no cover - already broken
+                    pass
+        self._procs[index] = None
+        self._task_conns[index] = None
+        self._result_conns[index] = None
+        self._spawned[index] = False
+        self._dead[index] = False
+        self._origin = {key: who for key, who in self._origin.items() if who != index}
+        self._watermarks[index] = 0
+        self.shrinks += 1
+
+    def _shrink_idle_locked(self, now: Optional[float] = None) -> int:
+        """Reap slots idle past ``idle_shrink_s``, never below ``min_workers``."""
+        if self.idle_shrink_s is None or not self._started:
+            return 0
+        now = time.monotonic() if now is None else now
+        live = self._live_slots()
+        spare = len(live) - self.min_workers
+        if spare <= 0:
+            return 0
+        stopped = 0
+        for index in reversed(live):  # shed the highest slots first
+            if spare <= 0:
+                break
+            if self._busy[index] or now - self._idle_since[index] < self.idle_shrink_s:
                 continue
-            self._procs.append(proc)
-            self._task_conns.append(task_conn)
-            self._result_conns.append(result_conn)
-        self._attach_read_through_store()
+            self._stop_slot(index)
+            spare -= 1
+            stopped += 1
+        return stopped
+
+    def maybe_shrink(self, now: Optional[float] = None) -> int:
+        """Reap idle slots now; returns how many were stopped.
+
+        Shrinking also happens opportunistically at every :meth:`map` entry; this
+        entry point exists for deterministic tests and long-idle callers.
+        """
+        with self._lock:
+            return self._shrink_idle_locked(now)
 
     def _respawn(self, index: int) -> bool:
         """Replace the dead worker in slot ``index``; ``False`` if the fork failed.
@@ -312,34 +490,32 @@ class WorkerPool:
         every origin record naming the dead worker is purged (the entries it priced
         died with it — the new process must be shipped them like anyone else).
         """
-        old = self._procs[index]
-        if old is not None:
-            old.join(timeout=1)
-        for conns in (self._task_conns, self._result_conns):
-            if conns[index] is not None:
-                try:
-                    conns[index].close()
-                except Exception:  # pragma: no cover - already broken
-                    pass
-        self._origin = {key: who for key, who in self._origin.items() if who != index}
-        self._watermarks[index] = 0
-        try:
-            proc, task_conn, result_conn = self._spawn_worker(index)
-        except Exception:
-            self._procs[index] = None
-            self._task_conns[index] = None
-            self._result_conns[index] = None
-            self._dead[index] = True
-            return False
-        self._procs[index] = proc
-        self._task_conns[index] = task_conn
-        self._result_conns[index] = result_conn
-        self._dead[index] = False
-        self.respawns += 1
-        cache = self._cache
-        if cache is not None and cache.read_through and cache.store is not None:
-            task_conn.send(("attach_store", cache.store.path, cache.store.namespace))
-        return True
+        with self._lock:
+            old = self._procs[index]
+            if old is not None:
+                old.join(timeout=1)
+            for conns in (self._task_conns, self._result_conns):
+                if conns[index] is not None:
+                    try:
+                        conns[index].close()
+                    except Exception:  # pragma: no cover - already broken
+                        pass
+            self._origin = {key: who for key, who in self._origin.items() if who != index}
+            self._watermarks[index] = 0
+            if self._closed or not self._spawn_into(index):
+                self._procs[index] = None
+                self._task_conns[index] = None
+                self._result_conns[index] = None
+                self._spawned[index] = False
+                self._dead[index] = True
+                return False
+            self.respawns += 1
+            cache = self._cache
+            if cache is not None and cache.read_through and cache.store is not None:
+                self._task_conns[index].send(
+                    ("attach_store", cache.store.path, cache.store.namespace)
+                )
+            return True
 
     def close(self, join_timeout: float = 5.0) -> None:
         """Stop and reap the workers with bounded escalation (idempotent).
@@ -349,18 +525,23 @@ class WorkerPool:
         wedged worker can never hang interpreter exit through the ``__del__`` /
         ``atexit`` path.
         """
-        if self._closed:
-            return
-        self._closed = True
-        if not self._started:
-            return
-        for proc, task_conn in zip(self._procs, self._task_conns):
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._slot_free.notify_all()
+            if not self._started:
+                return
+            procs = list(self._procs)
+            task_conns = list(self._task_conns)
+            result_conns = list(self._result_conns)
+        for proc, task_conn in zip(procs, task_conns):
             if proc is not None and proc.is_alive() and task_conn is not None:
                 try:
                     task_conn.send(("stop",))
                 except Exception:  # pragma: no cover - broken pipe on dead worker
                     pass
-        for proc in self._procs:
+        for proc in procs:
             if proc is None:
                 continue
             proc.join(timeout=join_timeout)
@@ -370,7 +551,7 @@ class WorkerPool:
             if proc.is_alive():  # SIGTERM ignored/blocked: escalate to SIGKILL
                 proc.kill()
                 proc.join(timeout=1)
-        for conn in self._task_conns + self._result_conns:
+        for conn in task_conns + result_conns:
             if conn is not None:
                 conn.close()
 
@@ -391,41 +572,49 @@ class WorkerPool:
         """Attach the shared cache the worker shards mirror.
 
         Re-binding the same object is free (watermarks survive — that is what makes
-        a reused pool cheap).  Binding a different cache resets the shards.
+        a reused pool cheap).  Binding a different cache resets the shards; never
+        do that while maps are in flight on other threads.
         """
-        if cache is self._cache:
-            return
-        self._cache = cache
-        self._watermarks = [0] * self.workers
-        self._origin = {}
-        if self._started:
-            for index, task_conn in enumerate(self._task_conns):
-                if task_conn is not None and not self._dead[index]:
-                    task_conn.send(("reset",))
-            self._attach_read_through_store()
+        with self._lock:
+            if cache is self._cache:
+                return
+            self._cache = cache
+            self._watermarks = [0] * self.workers
+            self._origin = {}
+            if self._started:
+                for index in self._live_slots():
+                    self._task_conns[index].send(("reset",))
+                self._attach_read_through_store()
 
     def _attach_read_through_store(self) -> None:
         cache = self._cache
         if cache is None or not cache.read_through or cache.store is None:
             return
-        for index, task_conn in enumerate(self._task_conns):
-            if task_conn is not None and not self._dead[index]:
-                task_conn.send(("attach_store", cache.store.path, cache.store.namespace))
+        for index in self._live_slots():
+            self._task_conns[index].send(
+                ("attach_store", cache.store.path, cache.store.namespace)
+            )
 
     def _live_slots(self) -> List[int]:
-        return [index for index in range(self.workers) if not self._dead[index]]
+        return [
+            index
+            for index in range(self.workers)
+            if self._spawned[index] and not self._dead[index]
+        ]
 
     def _sync_shards(self, cache: EvaluationCache) -> None:
-        """Ship each worker the entries priced since its watermark (delta-only).
+        """Ship each idle worker the entries priced since its watermark (delta-only).
 
         Watermarks normally advance in lock-step (:meth:`bind` and this method set
         them together), so one export serves every worker and only the origin filter
-        is per-worker.  A respawned worker breaks the lock-step — its watermark is
-        back at zero — so drifted watermarks fall through to a per-worker export:
-        the replacement is re-seeded with the full resident history while its
-        healthy siblings still receive only the fresh delta.
+        is per-worker.  A respawned or freshly grown worker breaks the lock-step —
+        its watermark is back at zero — so drifted watermarks fall through to a
+        per-worker export: the newcomer is re-seeded with the full resident history
+        while its healthy siblings still receive only the fresh delta.  Slots busy
+        under a sibling map are skipped (their pipes are mid-chunk); they catch up
+        at their own next sync, which the watermarks make exact.
         """
-        live = self._live_slots()
+        live = [index for index in self._live_slots() if not self._busy[index]]
         if not live:
             return
         marks = {self._watermarks[index] for index in live}
@@ -468,6 +657,52 @@ class WorkerPool:
                 self._task_conns[index].send(("seed", view))
                 cache.stats.shipped += len(view)
 
+    # ------------------------------------------------------------------ scheduling
+    def _lease(self, nitems: int) -> List[int]:
+        """Claim a fair share of idle slots for one map call (caller holds the lock).
+
+        The share is ``ceil(max_workers / concurrent maps)`` bounded by the item
+        count — one map alone gets the whole pool (the pre-elastic chunking,
+        bit-for-bit), two concurrent cells split it, and a narrow map never hoards
+        slots a wide sibling could fill.  Too few idle slots grow the pool toward
+        capacity (queue pressure); none at all waits for a sibling to release —
+        unless every slot is dead, which degrades the map to in-process serial
+        (empty lease).
+        """
+        while True:
+            if self._closed:
+                raise RuntimeError("WorkerPool is closed")
+            self._shrink_idle_locked()
+            idle = [index for index in self._live_slots() if not self._busy[index]]
+            share = -(-self.workers // (self._active_maps + 1))  # ceil division
+            want = max(1, min(nitems, share))
+            if len(idle) < want:
+                for index in range(self.workers):
+                    if len(idle) >= want:
+                        break
+                    if not self._spawned[index] and not self._dead[index]:
+                        if self._grow_slot(index):
+                            idle.append(index)
+            if idle:
+                idle.sort()
+                take = idle[:want]
+                for index in take:
+                    self._busy[index] = True
+                self._active_maps += 1
+                return take
+            if not self._live_slots():
+                return []  # total collapse: the caller serves the map in-process
+            self._slot_free.wait(timeout=0.1)
+
+    def _release(self, slots: Sequence[int]) -> None:
+        with self._lock:
+            now = time.monotonic()
+            for index in slots:
+                self._busy[index] = False
+                self._idle_since[index] = now
+            self._active_maps -= 1
+            self._slot_free.notify_all()
+
     # ------------------------------------------------------------------ mapping
     def map(
         self,
@@ -481,38 +716,55 @@ class WorkerPool:
         With a bound cache (and ``sync=True``) the shards are delta-synced before
         dispatch and their carries folded back afterwards — through ``merge`` when
         given (e.g. entries-only absorption), else ``cache.absorb_carry`` — in
-        worker-index order.  Items are split into contiguous, balanced chunks.
+        worker-index order.  Items are split into contiguous, balanced chunks over
+        the slots this call leases (see :meth:`_lease`); concurrent calls from
+        sweep-cell threads share the pool without stepping on each other.
 
         Worker deaths are survived (respawn + re-dispatch, see the class
         docstring); a chunk that keeps killing workers raises
         :class:`WorkerCrashError`, and an armed :func:`runtime.set_deadline` that
         expires raises :class:`runtime.CellTimeout` after killing-and-respawning
-        the straggling workers.  Either way the pool remains usable.
+        the straggling workers this call leased — sibling cells' workers are left
+        alone.  Either way the pool remains usable.
         """
         items = list(items)
         if not items:
             return []
-        self._ensure_started()
-        cache = self._cache if sync else None
-        if cache is not None:
-            self._sync_shards(cache)
-        live = self._live_slots()
-        if not live:
+        with self._lock:
+            self._ensure_started()
+            cache = self._cache if sync else None
+            if cache is not None:
+                self._sync_shards(cache)
+            slots = self._lease(len(items))
+        if not slots:
             # Total pool collapse: serve the whole map in-process, once-warned.
             return self._serial_map(func, items, cache, merge)
+        try:
+            return self._run_on_slots(func, items, slots, cache, merge)
+        finally:
+            self._release(slots)
+
+    def _run_on_slots(
+        self,
+        func: Callable[[T], R],
+        items: List[T],
+        slots: List[int],
+        cache: Optional[EvaluationCache],
+        merge: Optional[Callable[[Dict[str, Any]], None]],
+    ) -> List[R]:
+        """Dispatch, supervise and reassemble one map over its leased slots."""
         tag = runtime.task_tag()
         use_shard = cache is not None
-        active = min(len(live), len(items))
-        slots = live[:active]
         chunks: Dict[int, List[T]] = {}
-        base, extra = divmod(len(items), active)
+        base, extra = divmod(len(items), len(slots))
         lo = 0
         for position, slot in enumerate(slots):
             hi = lo + base + (1 if position < extra else 0)
             chunks[slot] = items[lo:hi]
             lo = hi
-        for slot in slots:
-            self._task_conns[slot].send(("map", func, chunks[slot], use_shard, tag))
+        with self._lock:
+            for slot in slots:
+                self._task_conns[slot].send(("map", func, chunks[slot], use_shard, tag))
 
         payloads: Dict[int, List[R]] = {}
         carries: List[Tuple[int, Optional[Dict[str, Any]]]] = []
@@ -526,15 +778,17 @@ class WorkerPool:
             while pending:
                 limit = runtime.deadline()
                 if limit is not None and time.monotonic() > limit:
-                    # Kill every straggler and respawn it: the attempt is over,
-                    # but the pool must survive for the retry.
-                    for slot in list(pending):
-                        proc = self._procs[slot]
-                        if proc is not None and proc.is_alive():
-                            proc.kill()
-                        self.crashes += 1
-                        self._respawn(slot)
-                        del pending[slot]
+                    # Kill every straggler this call leased and respawn it: the
+                    # attempt is over, but the pool must survive for the retry —
+                    # and sibling cells' workers keep running untouched.
+                    with self._lock:
+                        for slot in list(pending):
+                            proc = self._procs[slot]
+                            if proc is not None and proc.is_alive():
+                                proc.kill()
+                            self.crashes += 1
+                            self._respawn(slot)
+                            del pending[slot]
                     timed_out = True
                     break
                 conn_map = {self._result_conns[slot]: slot for slot in pending}
@@ -578,28 +832,29 @@ class WorkerPool:
                 for slot in dead:
                     if slot not in pending:
                         continue
-                    self.crashes += 1
-                    crashes[slot] += 1
-                    alive = self._respawn(slot)
-                    if crashes[slot] > self.chunk_retries:
-                        # Poison chunk: stop feeding it workers.  The slot itself
-                        # was respawned above, so the *pool* stays whole.
-                        if crash_failure is None:
-                            crash_failure = (
-                                f"pool worker {slot} died mid-task "
-                                f"({crashes[slot]} crash(es) on the same chunk of "
-                                f"{len(pending[slot])} task(s); "
-                                f"respawn budget {self.chunk_retries} exhausted)"
+                    with self._lock:
+                        self.crashes += 1
+                        crashes[slot] += 1
+                        alive = self._respawn(slot)
+                        if crashes[slot] > self.chunk_retries:
+                            # Poison chunk: stop feeding it workers.  The slot
+                            # itself was respawned above, so the *pool* stays whole.
+                            if crash_failure is None:
+                                crash_failure = (
+                                    f"pool worker {slot} died mid-task "
+                                    f"({crashes[slot]} crash(es) on the same chunk of "
+                                    f"{len(pending[slot])} task(s); "
+                                    f"respawn budget {self.chunk_retries} exhausted)"
+                                )
+                            del pending[slot]
+                        elif alive:
+                            self._task_conns[slot].send(
+                                ("map", func, pending[slot], use_shard, tag)
                             )
-                        del pending[slot]
-                    elif alive:
-                        self._task_conns[slot].send(
-                            ("map", func, pending[slot], use_shard, tag)
-                        )
-                    else:
-                        # No replacement worker to be had: fall back to pricing
-                        # this chunk in-process once the drain settles.
-                        orphaned[slot] = pending.pop(slot)
+                        else:
+                            # No replacement worker to be had: fall back to pricing
+                            # this chunk in-process once the drain settles.
+                            orphaned[slot] = pending.pop(slot)
         except BaseException:
             # Anything escaping the drain (e.g. KeyboardInterrupt) leaves result
             # pipes with unread messages; a later map() would read stale payloads.
@@ -610,15 +865,16 @@ class WorkerPool:
         # their shards already marked those entries as shipped (take_carry), so
         # dropping the carries here would lose the priced work for good.
         carries.sort(key=lambda pair: pair[0])
-        for slot, carry in carries:
-            if not carry:
-                continue
-            for key in carry["delta"]:
-                self._origin[key] = slot
-            if merge is not None:
-                merge(carry)
-            elif cache is not None:
-                cache.absorb_carry(carry)
+        with self._lock:
+            for slot, carry in carries:
+                if not carry:
+                    continue
+                for key in carry["delta"]:
+                    self._origin[key] = slot
+                if merge is not None:
+                    merge(carry)
+                elif cache is not None:
+                    cache.absorb_carry(carry)
 
         for slot, chunk in orphaned.items():
             if task_failure is not None or crash_failure is not None or timed_out:
@@ -670,9 +926,8 @@ class WorkerPool:
         convention of :func:`parallel_map_merge` — so results stay bit-identical;
         there is no carry to merge and no origin to record.
         """
-        global _ACTIVE_CACHE
-        previous = _ACTIVE_CACHE
-        _ACTIVE_CACHE = cache
+        previous = getattr(_TLS, "cache", None)
+        _TLS.cache = cache
         try:
             payloads = []
             for item in chunk:
@@ -682,7 +937,7 @@ class WorkerPool:
         except BaseException as exc:
             return "err", traceback.format_exc(), exc
         finally:
-            _ACTIVE_CACHE = previous
+            _TLS.cache = previous
 
     def _serial_map(
         self,
@@ -728,7 +983,7 @@ def parallel_map(
             runtime.check_deadline()
             results.append(func(item))
         return results
-    with WorkerPool(min(workers, len(items))) as pool:
+    with WorkerPool(config=PoolConfig(max_workers=min(workers, len(items)))) as pool:
         return pool.map(func, items, sync=False)
 
 
@@ -751,14 +1006,13 @@ def parallel_map_merge(
     Results and cache end state are identical for any worker count because pricing
     is a pure function of the point — the cache only changes *what is recomputed*.
     """
-    global _ACTIVE_CACHE
     if isinstance(parallel, WorkerPool):
         parallel.bind(cache)
         return parallel.map(func, items)
     workers = resolve_workers(parallel)
     if workers <= 1 or len(items) < 2:
-        previous = _ACTIVE_CACHE
-        _ACTIVE_CACHE = cache
+        previous = getattr(_TLS, "cache", None)
+        _TLS.cache = cache
         try:
             results = []
             for item in items:
@@ -766,6 +1020,7 @@ def parallel_map_merge(
                 results.append(func(item))
             return results
         finally:
-            _ACTIVE_CACHE = previous
-    with WorkerPool(min(workers, len(items)), cache=cache) as pool:
+            _TLS.cache = previous
+    pool_config = PoolConfig(max_workers=min(workers, len(items)))
+    with WorkerPool(cache=cache, config=pool_config) as pool:
         return pool.map(func, items)

@@ -15,7 +15,13 @@ sweep).  :class:`RetryPolicy` is the knob bundle that governs one cell's lifecyc
   killed, its workers respawned, and the attempt counted as a failure.
 
 The policy is a frozen dataclass so it can ride inside specs and be shared across
-threads; all delay computation is pure (``(seed, key, attempt) -> seconds``).
+threads; all delay computation is pure (``(seed, key, attempt) -> seconds``).  That
+purity is load-bearing under the two-level sweep scheduler (``Session.sweep(jobs=N)``):
+every cell thread evaluates its own retry/backoff schedule concurrently against the
+same shared policy object, and because each delay is keyed by the cell's own
+``(seed, key, attempt)`` the schedule any one cell observes is independent of which
+sibling cells happen to be in flight — retries and quarantine decisions are
+bit-identical whether a sweep runs serially or with ``jobs > 1``.
 """
 
 from __future__ import annotations

@@ -26,6 +26,7 @@ acyclic: ``repro.core.* → repro.core.runtime ← repro.api``.
 
 from __future__ import annotations
 
+import threading
 import time
 import warnings
 from typing import Any, List, Optional
@@ -53,13 +54,14 @@ _ACTIVE_SESSIONS: List[Any] = []
 _DEFAULT_SESSION: Optional[Any] = None
 #: Legacy-kwarg call sites that already warned (DeprecationWarning fires once each).
 _WARNED: set = set()
-#: Ambient label of the unit of work currently executing (a sweep's cell id).  The
-#: pool forwards it to workers with every map message, so fault injectors (and any
-#: future tracing) can target work by *what* it is, not by racey wall-clock timing.
-_TASK_TAG: str = ""
-#: Monotonic deadline of the current attempt (``None`` = unbounded).  The pool
-#: supervisor and the serial map loops poll it via :func:`check_deadline`.
-_DEADLINE: Optional[float] = None
+#: Per-thread ambient attempt state.  ``tag`` labels the unit of work currently
+#: executing (a sweep's cell id) — the pool forwards it to workers with every map
+#: message, so fault injectors (and any future tracing) can target work by *what*
+#: it is, not by racey wall-clock timing.  ``deadline`` is the monotonic deadline
+#: of the current attempt (``None`` = unbounded), polled via :func:`check_deadline`.
+#: Thread-local, not global: the two-level sweep scheduler runs several cells on
+#: concurrent threads, and one cell's timeout must never kill a sibling's attempt.
+_AMBIENT = threading.local()
 
 
 class CellTimeout(RuntimeError):
@@ -68,38 +70,42 @@ class CellTimeout(RuntimeError):
 
 # ------------------------------------------------------------------ ambient attempt
 def set_task_tag(tag: str) -> None:
-    """Label the work dispatched from now on (sweeps tag each cell's attempt)."""
-    global _TASK_TAG
-    _TASK_TAG = str(tag or "")
+    """Label the work dispatched from now on (sweeps tag each cell's attempt).
+
+    The label is scoped to the calling thread: concurrent sweep cells each tag
+    their own dispatches without clobbering each other.
+    """
+    _AMBIENT.tag = str(tag or "")
 
 
 def task_tag() -> str:
-    """The ambient work label (empty outside a tagged region)."""
-    return _TASK_TAG
+    """The calling thread's work label (empty outside a tagged region)."""
+    return getattr(_AMBIENT, "tag", "")
 
 
 def set_deadline(at: Optional[float]) -> None:
     """Arm (or clear, with ``None``) the wall-clock deadline of the current attempt.
 
-    ``at`` is an absolute :func:`time.monotonic` timestamp.  The supervisor in
+    ``at`` is an absolute :func:`time.monotonic` timestamp, scoped to the calling
+    thread (each concurrent sweep cell arms its own).  The supervisor in
     :meth:`WorkerPool.map` kills and respawns overdue workers; serial loops check
     between items via :func:`check_deadline`.  Either way the overrun surfaces as
     :class:`CellTimeout`, which the sweep retry loop treats as a failed attempt.
     """
-    global _DEADLINE
-    _DEADLINE = at
+    _AMBIENT.deadline = at
 
 
 def deadline() -> Optional[float]:
-    """The armed deadline (monotonic seconds), or ``None``."""
-    return _DEADLINE
+    """The calling thread's armed deadline (monotonic seconds), or ``None``."""
+    return getattr(_AMBIENT, "deadline", None)
 
 
 def check_deadline() -> None:
     """Raise :class:`CellTimeout` when the armed deadline has passed."""
-    if _DEADLINE is not None and time.monotonic() > _DEADLINE:
+    at = getattr(_AMBIENT, "deadline", None)
+    if at is not None and time.monotonic() > at:
         raise CellTimeout(
-            f"cell overran its wall-clock budget (deadline {_DEADLINE:.3f} passed)"
+            f"cell overran its wall-clock budget (deadline {at:.3f} passed)"
         )
 
 
@@ -178,13 +184,15 @@ def reset_for_worker() -> None:
     pools would deadlock).  Workers price against :func:`parallel_map.task_cache`
     instead.
     """
-    global _DEFAULT_SESSION, _DEADLINE
+    global _DEFAULT_SESSION
     _ACTIVE_SESSIONS.clear()
     _DEFAULT_SESSION = None
     # The parent's deadline is the *supervisor's* to enforce (it kills overdue
     # workers); a forked copy ticking inside the worker would make task results
-    # depend on wall-clock timing.
-    _DEADLINE = None
+    # depend on wall-clock timing.  The fork keeps only the forking thread, so
+    # clearing that thread's ambient state clears everything.
+    _AMBIENT.deadline = None
+    _AMBIENT.tag = ""
 
 
 # ---------------------------------------------------------------------- legacy shims
