@@ -22,7 +22,13 @@ from repro.api.registry import (
     tiny_workload,
 )
 from repro.api.result import RunResult
-from repro.api.results import ResultStore, export_csv, open_result_store, open_store
+from repro.api.results import (
+    ResultStore,
+    export_csv,
+    merge_stores,
+    open_result_store,
+    open_store,
+)
 from repro.api.session import (
     Session,
     SweepCellError,
@@ -49,6 +55,7 @@ __all__ = [
     "close_default_session",
     "default_session",
     "export_csv",
+    "merge_stores",
     "open_result_store",
     "open_store",
     "register_wafer",

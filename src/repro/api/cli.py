@@ -17,11 +17,19 @@ Four subcommands drive the :class:`~repro.api.Session` runtime:
       python -m repro sweep --spec matrix.json --workers 8 --results out.sqlite
       generate_matrix.py | python -m repro sweep --spec - --results out.sqlite
 
-* ``repro results`` — query a result store::
+* ``repro serve`` — run the distributed-sweep coordinator: it owns the
+  authoritative result/cache stores and a leased cell queue that any number of
+  ``repro sweep --store host:port/ns`` hosts drain together::
+
+      python -m repro serve ./fabric-store --bind 0.0.0.0:7077
+      python -m repro sweep --spec matrix.json --store coordinator-host:7077
+
+* ``repro results`` — query (or merge) result stores::
 
       python -m repro results stats out.sqlite
       python -m repro results tail out.sqlite -n 5
       python -m repro results export out.sqlite --csv matrix.csv
+      python -m repro results merge hostA.jsonl hostB.sqlite -o merged.sqlite
 
 * ``repro cache`` — inspect and maintain persistent evaluation-cache stores::
 
@@ -39,15 +47,17 @@ import argparse
 import json
 import os
 import sys
+import time
 from typing import Any, List, Optional
 
 from repro.api.registry import wafer_names, workload_names
-from repro.api.results import export_csv, open_result_store, record_status
+from repro.api.results import export_csv, merge_stores, open_result_store, record_status
 from repro.api.session import Session, SweepCellError
 from repro.api.spec import KINDS, ExperimentSpec
 from repro.api.sweep import SweepSpec
 from repro.core.evalcache import EvaluationCache, open_store
 from repro.core.retry import RetryPolicy
+from repro.fabric.protocol import FabricError, parse_endpoint
 
 __all__ = [
     "add_session_arguments",
@@ -66,7 +76,9 @@ def add_session_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--store", "--cache", dest="store", metavar="PATH", default=None,
-        help="persistent cache store (.jsonl or .sqlite); warm-starts when it exists",
+        help="persistent cache store (.jsonl or .sqlite); warm-starts when it "
+             "exists.  host:port[/namespace] instead connects to a `repro serve` "
+             "coordinator, which then owns the stores and the sweep queue",
     )
     parser.add_argument(
         "--read-through", action="store_true",
@@ -80,12 +92,18 @@ def add_session_arguments(parser: argparse.ArgumentParser) -> None:
 
 def session_from_args(args: argparse.Namespace) -> Session:
     """Build the session a CLI run executes on (see :func:`add_session_arguments`)."""
-    return Session(
-        pool=args.workers,
-        store=args.store,
-        read_through=getattr(args, "read_through", False),
-        compact_on_exit=getattr(args, "compact_on_exit", False),
-    )
+    try:
+        return Session(
+            pool=args.workers,
+            store=args.store,
+            read_through=getattr(args, "read_through", False),
+            compact_on_exit=getattr(args, "compact_on_exit", False),
+        )
+    except ValueError as exc:
+        # Bad --store endpoints (malformed port, conflicting namespace) and other
+        # argument mistakes already carry actionable messages; present them as CLI
+        # errors, not tracebacks.
+        raise SystemExit(f"repro: {exc}") from exc
 
 
 def _emit(payload: dict, json_out: Optional[str]) -> None:
@@ -227,7 +245,58 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0 if all_ok else 1
 
 
+# ------------------------------------------------------------------------------ serve
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the distributed-sweep coordinator until interrupted.
+
+    Prints the *resolved* address once serving — ``--bind 127.0.0.1:0`` picks a free
+    port, and scripts (the fabric smoke test included) parse it from this line.
+    """
+    from repro.fabric.server import FabricCoordinator
+
+    try:
+        endpoint = parse_endpoint(args.bind)
+    except ValueError as exc:
+        raise SystemExit(f"repro serve: {exc}") from exc
+    namespace = args.namespace or endpoint.namespace
+    coordinator = FabricCoordinator(
+        args.store_dir,
+        namespace=namespace,
+        lease_s=args.lease_s,
+        default_max_attempts=args.retries,
+    )
+    address = coordinator.start(endpoint.address)
+    print(
+        f"repro serve: namespace '{namespace}' on {address} "
+        f"(store {args.store_dir}, lease {args.lease_s:g}s)",
+        flush=True,
+    )
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        coordinator.stop()
+    return 0
+
+
 # ---------------------------------------------------------------------------- results
+def _cmd_results_merge(args: argparse.Namespace) -> int:
+    missing = [path for path in args.paths if not os.path.exists(path)]
+    if missing:
+        print(f"repro results merge: no store at {', '.join(missing)}", file=sys.stderr)
+        return 1
+    summary = merge_stores(args.paths, args.out)
+    statuses = summary["statuses"] or {"ok": 0}
+    histogram = ", ".join(f"{status}={count}" for status, count in sorted(statuses.items()))
+    print(
+        f"merged {summary['stores']} stores -> {args.out}: {summary['cells']} cells "
+        f"({summary['duplicates']} duplicates folded, later wins)  [{histogram}]"
+    )
+    return 0
+
+
 def _cmd_results(args: argparse.Namespace) -> int:
     if not os.path.exists(args.results_path):
         print(f"no result store at {args.results_path}", file=sys.stderr)
@@ -412,8 +481,52 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.set_defaults(func=_cmd_sweep)
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the distributed-sweep coordinator: authoritative stores plus a "
+             "leased cell queue that Session(store='host:port/ns') hosts drain",
+    )
+    serve.add_argument(
+        "store_dir",
+        help="directory owning the authoritative stores (results.jsonl, "
+             "cache.jsonl, leases.jsonl); created if missing",
+    )
+    serve.add_argument(
+        "--bind", metavar="HOST:PORT", default="127.0.0.1:0",
+        help="listen address; port 0 picks a free port (printed once serving)",
+    )
+    serve.add_argument(
+        "--namespace", default=None,
+        help="namespace served (default 'default'); connecting hosts must match",
+    )
+    serve.add_argument(
+        "--lease-s", type=float, default=10.0, metavar="SECONDS",
+        help="heartbeat window: a host silent this long has its cells requeued",
+    )
+    serve.add_argument(
+        "--retries", type=int, default=3, metavar="N",
+        help="fallback global attempt budget per cell when a host's registration "
+             "does not carry one (default 3)",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
     results = sub.add_parser("results", help="query sweep result stores")
     results_sub = results.add_subparsers(dest="results_command", required=True)
+    merge = results_sub.add_parser(
+        "merge",
+        help="fold several stores into one (dedupe by cell_id, later wins) — the "
+             "offline fallback when hosts swept without a coordinator",
+    )
+    merge.add_argument(
+        "paths", nargs="+", metavar="STORE",
+        help="input stores, any mix of .jsonl and .sqlite; later arguments win "
+             "duplicate cell_ids",
+    )
+    merge.add_argument(
+        "-o", "--out", required=True, metavar="OUT",
+        help="merged store to write (.jsonl or .sqlite; replaced atomically)",
+    )
+    merge.set_defaults(func=_cmd_results_merge)
     for results_cmd, help_text in (
         ("stats", "cell count, per-kind histogram, time range"),
         ("tail", "the last completed cells, one line each"),
@@ -452,6 +565,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
+    except FabricError as exc:
+        # Unreachable coordinator, lost connection, namespace/version mismatch —
+        # all carry actionable messages (including the offline merge fallback).
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
     except BrokenPipeError:
         # Streaming output into a closed pager/head is a normal way to stop; exit
         # quietly instead of tracebacking (stdout is gone, so swap in devnull).

@@ -33,7 +33,7 @@ import sqlite3
 import tempfile
 import time
 from collections import Counter, OrderedDict
-from typing import Any, Dict, List, Optional, TextIO, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, TextIO, Tuple, Union
 
 from repro.core.evalcache import _move_aside
 
@@ -44,6 +44,7 @@ __all__ = [
     "SqliteResultStore",
     "export_csv",
     "make_record",
+    "merge_stores",
     "open_result_store",
     "open_store",
     "record_status",
@@ -489,6 +490,48 @@ def open_store(
 
         return open_cache_store(str(path), namespace)
     raise ValueError(f"kind must be 'cache' or 'results', not {kind!r}")
+
+
+def merge_stores(
+    paths: Sequence[Union[str, os.PathLike]],
+    out_path: Union[str, os.PathLike],
+) -> Dict[str, Any]:
+    """Fold several result stores into one: the offline half of the sweep fabric.
+
+    Hosts that swept air-gapped (or lost the coordinator and fell back to local
+    ``--results`` files) each hold a partial store; this merges them keyed by
+    ``cell_id`` with **later duplicates winning in argument order** — the same
+    tiebreak every append-only store in the repo uses, so merging is associative
+    with re-running.  Mixed backends are fine (``A.jsonl B.sqlite -o merged.sqlite``:
+    the suffix rules of :func:`open_result_store` apply to every path).  Returns a
+    summary: ``{"stores": n, "cells": n, "duplicates": n, "statuses": {...}}``.
+    """
+    if not paths:
+        raise ValueError("merge needs at least one input store")
+    merged: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+    duplicates = 0
+    for path in paths:
+        store = open_result_store(path)
+        try:
+            for cell_id, record in store.load().items():
+                if cell_id in merged:
+                    duplicates += 1
+                    merged.pop(cell_id)  # re-append so completion order stays honest
+                merged[cell_id] = record
+        finally:
+            store.close()
+    out = open_result_store(out_path)
+    try:
+        out.replace_all(merged)
+    finally:
+        out.close()
+    statuses = Counter(record_status(record) for record in merged.values())
+    return {
+        "stores": len(paths),
+        "cells": len(merged),
+        "duplicates": duplicates,
+        "statuses": dict(sorted(statuses.items())),
+    }
 
 
 def export_csv(store: ResultStore, handle: TextIO) -> int:

@@ -45,6 +45,7 @@ from repro.api.result import RunResult
 from repro.api.results import ResultStore, make_record, open_result_store
 from repro.api.spec import ExperimentSpec
 from repro.api.sweep import ScheduleConfig, SweepSpec, as_sweep_spec
+from repro.fabric.protocol import FabricConnectionError, looks_like_endpoint, parse_endpoint
 
 __all__ = [
     "Session",
@@ -86,7 +87,12 @@ class Session:
         Either an existing :class:`EvaluationCache` to adopt (flushed but not
         closed on exit — the caller owns it), or a store path (``.jsonl`` /
         ``.sqlite``) the session opens (and closes) itself.  With neither, the
-        session builds a fresh in-memory cache.
+        session builds a fresh in-memory cache.  A ``store`` of the shape
+        ``host:port[/namespace]`` instead connects to a ``repro serve``
+        coordinator: the coordinator owns the authoritative cache/result stores,
+        this session keeps an in-memory cache warm-started (and delta-synced)
+        over the wire, and :meth:`sweep` claims cells from the coordinator's
+        leased queue instead of walking the matrix locally.
     read_through / max_entries / namespace:
         Forwarded to :class:`EvaluationCache` when the session builds it.
     compact_on_exit / compact_max_entries / compact_max_age_s:
@@ -128,6 +134,22 @@ class Session:
                 hint="pass pool= (an int, PoolConfig or WorkerPool) instead",
             )
             pool = workers
+        #: Connected :class:`~repro.fabric.client.FabricClient` when ``store`` names
+        #: a ``repro serve`` coordinator (``host:port[/namespace]``), else ``None``.
+        self.fabric = None
+        if cache is None and looks_like_endpoint(store):
+            endpoint = parse_endpoint(store)  # raises the actionable bad-port error
+            if namespace is not None and namespace != endpoint.namespace:
+                raise ValueError(
+                    f"namespace={namespace!r} conflicts with the endpoint's "
+                    f"'/{endpoint.namespace}' — name the namespace in one place, "
+                    f"e.g. store='{endpoint.address}/{namespace}'"
+                )
+            from repro.fabric.client import FabricClient
+
+            # Fails here — not at first claim — when the coordinator is down.
+            self.fabric = FabricClient(endpoint)
+            store = None  # the coordinator owns the stores; local cache is in-memory
         self._owns_cache = cache is None
         self.cache: EvaluationCache = (
             cache
@@ -205,6 +227,8 @@ class Session:
             self.cache.close()
         if self._owns_results and self.results is not None:
             self.results.close()
+        if self.fabric is not None:
+            self.fabric.close()
 
     @property
     def closed(self) -> bool:
@@ -356,6 +380,13 @@ class Session:
         else:
             store = runtime.current_results()
         policy = retry or self.retry or RetryPolicy()
+        if self.fabric is not None and not legacy_list:
+            # Distributed mode: the coordinator owns the queue, resume semantics
+            # and the authoritative store.  A local ``results=``/ambient store (if
+            # any) still gets rows written through, so each host keeps a replica.
+            return self._sweep_fabric_iter(
+                cells, store, owns_store, policy, keep_going, skip_failed
+            )
         if effective_jobs > 1 and len(cells) > 1:
             stream = self._sweep_parallel_iter(
                 cells, store, resume, owns_store, completed, policy, keep_going,
@@ -530,6 +561,143 @@ class Session:
             if owns_store and store is not None:
                 store.close()
 
+    def _sweep_fabric_iter(
+        self,
+        cells,
+        store: Optional[ResultStore],
+        owns_store: bool,
+        retry: RetryPolicy,
+        keep_going: bool,
+        skip_failed: bool,
+    ) -> Iterator[RunResult]:
+        """Distributed sweep: claim cells from the coordinator's leased queue.
+
+        The local retry loop is replaced by the coordinator's *global* budget — one
+        claim is one attempt, requeues carry the attempt count across hosts, and the
+        coordinator (not this host) decides when a cell quarantines.  Each completed
+        cell streams its row write-through to the coordinator plus a cache delta
+        (``export_since`` watermark), so sibling hosts warm-start off each other's
+        pricing.  Yield order is claim order, not matrix order: with several hosts
+        draining one queue there is no meaningful global matrix order anyway.
+
+        Degradation: losing the coordinator mid-sweep first burns the client's
+        bounded reconnect/backoff budget; once spent, the in-flight cell is
+        quarantined *locally* (a ``status="failed"`` row in the local store when one
+        is attached — or, when the cell had already finished pricing, its real row
+        is salvaged there) and the :class:`FabricConnectionError` propagates.
+        """
+        client = self.fabric
+        by_id = {cell.cell_id: cell for cell in cells}
+        current = None  # cell granted to us and not yet acknowledged
+        current_run: Optional[RunResult] = None
+        try:
+            client.register(
+                [
+                    {
+                        "id": cell.cell_id,
+                        "kind": cell.spec.kind,
+                        "label": cell.spec.name or cell.spec.kind,
+                        "spec": cell.spec.to_dict(),
+                    }
+                    for cell in cells
+                ],
+                max_attempts=retry.max_attempts,
+                skip_failed=skip_failed,
+            )
+            self.cache.seed(client.cache_pull())  # warm-start off sibling pricing
+            watermark = self.cache.sync_seq
+            client.start_heartbeats()
+            while True:
+                grant = client.claim()
+                if grant.get("drained"):
+                    break
+                if grant.get("wait"):
+                    time.sleep(float(grant.get("poll_s", 0.2)))
+                    continue
+                cell = by_id.get(str(grant.get("cell", "")))
+                if cell is None:  # pragma: no cover - defensive; claims are host-scoped
+                    continue
+                attempt = int(grant.get("attempt", 1))
+                current, current_run = cell, None
+                run, error = self._attempt_cell(cell, retry)
+                if run is not None:
+                    run.attempts = attempt
+                    current_run = run
+                    record = make_record(run, cell.spec)
+                    client.complete(cell.cell_id, record)
+                    delta, watermark = self.cache.export_since(watermark)
+                    client.cache_push(delta)
+                    if store is not None:
+                        store.put(cell.cell_id, record)
+                    current = current_run = None
+                    yield run
+                    continue
+                failed = RunResult(
+                    kind=cell.spec.kind,
+                    label=cell.spec.name or cell.spec.kind,
+                    cell_id=cell.cell_id,
+                    status="failed",
+                    error=error,
+                    attempts=attempt,
+                )
+                reply = client.fail(cell.cell_id, make_record(failed, cell.spec))
+                current = None
+                if reply.get("quarantined"):
+                    if store is not None:
+                        store.put(cell.cell_id, make_record(failed, cell.spec))
+                    if not keep_going:
+                        raise SweepCellError(cell.cell_id, failed.label, error)
+                    yield failed
+                    continue
+                # Requeued (or a stale report the reaper already handled): back off
+                # with the policy's deterministic delay before claiming again.
+                delay = retry.delay_s(attempt, cell.cell_id)
+                if delay > 0:
+                    time.sleep(delay)
+        except FabricConnectionError:
+            if current is not None and store is not None:
+                if current_run is not None:
+                    # The cell finished pricing but the ack was lost: salvage the
+                    # real row locally so `repro results merge` can fold it back.
+                    store.put(current.cell_id, make_record(current_run, current.spec))
+                else:
+                    quarantined = RunResult(
+                        kind=current.spec.kind,
+                        label=current.spec.name or current.spec.kind,
+                        cell_id=current.cell_id,
+                        status="failed",
+                        error=(
+                            "connection to the sweep coordinator was lost while this "
+                            "cell was in flight; quarantined locally"
+                        ),
+                        attempts=1,
+                    )
+                    store.put(current.cell_id, make_record(quarantined, current.spec))
+            raise
+        finally:
+            if owns_store and store is not None:
+                store.close()
+
+    def _attempt_cell(self, cell, retry: RetryPolicy):
+        """One tagged, deadline-armed attempt: ``(run, "")`` or ``(None, traceback)``.
+
+        The single-attempt core of :meth:`_run_cell`, reused by the fabric claim
+        loop where the *coordinator* owns the retry budget.
+        """
+        runtime.set_task_tag(cell.cell_id)
+        if retry.timeout_s is not None:
+            runtime.set_deadline(time.monotonic() + retry.timeout_s)
+        try:
+            run = self.run(cell.spec)
+        except Exception:
+            return None, traceback.format_exc()
+        else:
+            run.cell_id = cell.cell_id
+            return run, ""
+        finally:
+            runtime.set_task_tag("")
+            runtime.set_deadline(None)
+
     def _run_cell(self, cell, retry: RetryPolicy) -> RunResult:
         """One sweep cell under the retry policy: attempt, back off, quarantine.
 
@@ -547,20 +715,10 @@ class Session:
         attempt = 0
         while True:
             attempt += 1
-            runtime.set_task_tag(cell.cell_id)
-            if retry.timeout_s is not None:
-                runtime.set_deadline(time.monotonic() + retry.timeout_s)
-            try:
-                run = self.run(spec)
-            except Exception:
-                last_error = traceback.format_exc()
-            else:
-                run.cell_id = cell.cell_id
+            run, last_error = self._attempt_cell(cell, retry)
+            if run is not None:
                 run.attempts = attempt
                 return run
-            finally:
-                runtime.set_task_tag("")
-                runtime.set_deadline(None)
             if not retry.should_retry(attempt):
                 break
             delay = retry.delay_s(attempt, cell.cell_id)

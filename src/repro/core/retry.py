@@ -27,8 +27,8 @@ bit-identical whether a sweep runs serially or with ``jobs > 1``.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Dict, Mapping, Optional
 
 __all__ = ["RetryPolicy"]
 
@@ -81,3 +81,24 @@ class RetryPolicy:
             stream = random.Random(f"{self.seed}:{key}:{attempt}")
             delay *= 1.0 + self.jitter * (2.0 * stream.random() - 1.0)
         return min(delay, self.max_backoff_s)
+
+    # ------------------------------------------------------------------ wire form
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready form, for shipping the policy across the sweep fabric."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RetryPolicy":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected with the field list.
+
+        The fabric hello handshake already pins the protocol version, so an unknown
+        key here is a local bug (or a hand-edited file), not a version skew.
+        """
+        known = {field.name for field in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown RetryPolicy field(s) {', '.join(unknown)} — "
+                f"expected a subset of {', '.join(sorted(known))}"
+            )
+        return cls(**dict(data))

@@ -1,0 +1,216 @@
+"""Leased cell queue: grants, heartbeat renewal, expiry, and the recovery journal.
+
+A *lease* is the coordinator's claim record for one in-flight sweep cell: which host
+holds it, which (global) attempt it is, and when it expires.  Hosts renew every lease
+they hold with one heartbeat; a host that misses its window has its leases
+**expired** — the cells go back on the queue with the attempt count carried, so the
+retry budget spans hosts exactly the way a single-box
+:class:`~repro.core.retry.RetryPolicy` spans worker crashes.
+
+The :class:`LeaseJournal` is the tiny append-only half of coordinator crash
+recovery.  The result store already records every *completed* cell; the journal
+records the queue's other transitions (cell registered, lease granted, cell
+requeued, cell settled), so a restarted coordinator can rebuild exactly the pending
+set and per-cell attempt counts — no cell lost, none forgotten mid-lease.  Rows are
+JSON lines under the same torn-tail discipline as every other append-only store in
+the repo: a row cut short by a kill is skipped on replay, costing at most one
+transition that lease expiry then re-derives.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["CellState", "Lease", "LeaseJournal", "LeaseTable"]
+
+#: Journal format marker (first line of the file).
+_JOURNAL_FORMAT = "watos-lease-journal"
+
+
+@dataclass
+class Lease:
+    """One granted cell: who holds it, which attempt, and when it expires."""
+
+    cell_id: str
+    host: str
+    attempt: int
+    expires_at: float  # time.monotonic() deadline, renewed by heartbeats
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        return (time.monotonic() if now is None else now) > self.expires_at
+
+
+@dataclass
+class CellState:
+    """Everything the coordinator tracks for one registered cell."""
+
+    cell_id: str
+    #: Provenance shipped at registration (kind/label/spec dict) — enough to write
+    #: a quarantine row for a cell whose final attempt died with its host.
+    meta: Dict[str, Any] = field(default_factory=dict)
+    #: Global attempts consumed so far (bumped at grant time, carried by requeues).
+    attempts: int = 0
+    #: Hosts that registered this cell (only they can claim it — hosts running
+    #: different matrices share one queue without being handed foreign work).
+    hosts: set = field(default_factory=set)
+
+
+class LeaseTable:
+    """In-memory lease state, owned by the coordinator's single dispatcher thread.
+
+    Not thread-safe by design: every mutation happens on the dispatcher, which is
+    what makes grant/renew/expire ordering deterministic under test.
+    """
+
+    def __init__(self, lease_s: float = 10.0) -> None:
+        if lease_s <= 0:
+            raise ValueError("lease_s must be positive")
+        self.lease_s = lease_s
+        self._leases: Dict[str, Lease] = {}  # cell_id -> lease
+
+    def __len__(self) -> int:
+        return len(self._leases)
+
+    def __contains__(self, cell_id: str) -> bool:
+        return cell_id in self._leases
+
+    def get(self, cell_id: str) -> Optional[Lease]:
+        return self._leases.get(cell_id)
+
+    def grant(self, cell_id: str, host: str, attempt: int) -> Lease:
+        """Lease one cell to one host.  Double-granting a live lease is a bug."""
+        if cell_id in self._leases:
+            raise RuntimeError(f"cell {cell_id} is already leased to {self._leases[cell_id].host}")
+        lease = Lease(cell_id, host, attempt, time.monotonic() + self.lease_s)
+        self._leases[cell_id] = lease
+        return lease
+
+    def renew(self, host: str, now: Optional[float] = None) -> int:
+        """One heartbeat: push every lease the host holds out by the lease window."""
+        now = time.monotonic() if now is None else now
+        renewed = 0
+        for lease in self._leases.values():
+            if lease.host == host:
+                lease.expires_at = now + self.lease_s
+                renewed += 1
+        return renewed
+
+    def release(self, cell_id: str) -> Optional[Lease]:
+        """Drop the lease on a settled (completed/failed/requeued) cell."""
+        return self._leases.pop(cell_id, None)
+
+    def expired(self, now: Optional[float] = None) -> List[Lease]:
+        """Leases whose host missed its heartbeat window (not yet released)."""
+        now = time.monotonic() if now is None else now
+        return [lease for lease in self._leases.values() if lease.expired(now)]
+
+    def held_by(self, host: str) -> List[Lease]:
+        return [lease for lease in self._leases.values() if lease.host == host]
+
+
+class LeaseJournal:
+    """Append-only queue-transition log for coordinator restart recovery.
+
+    Events (one JSON object per line, ``e`` is the event tag):
+
+    * ``reg``     — cell registered: ``{"e": "reg", "c": id, "m": meta}``
+    * ``grant``   — lease granted:   ``{"e": "grant", "c": id, "h": host, "a": attempt}``
+    * ``requeue`` — cell back on the queue (failed attempt / dead host), attempts
+      carried: ``{"e": "requeue", "c": id, "a": attempts}``
+    * ``done``    — cell settled (ok or quarantined): ``{"e": "done", "c": id}``
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._handle = None
+        #: Rows skipped during the most recent :meth:`replay` (torn tail, noise).
+        self.replay_errors = 0
+
+    # ------------------------------------------------------------------ writing
+    def _open(self):
+        if self._handle is None:
+            fresh = not os.path.exists(self.path)
+            self._handle = open(self.path, "a", encoding="utf-8")
+            if fresh:
+                self._handle.write(json.dumps({"format": _JOURNAL_FORMAT}) + "\n")
+                self._handle.flush()
+        return self._handle
+
+    def append(self, event: str, cell_id: str, **fields: Any) -> None:
+        handle = self._open()
+        handle.write(json.dumps({"e": event, "c": cell_id, **fields}) + "\n")
+        handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    # ------------------------------------------------------------------ replay
+    def replay(self) -> Tuple[Dict[str, CellState], List[str], List[str]]:
+        """Rebuild queue state: ``(cells, pending_ids, interrupted_ids)``.
+
+        ``pending_ids`` are cells registered or requeued but not granted/settled at
+        the crash, in arrival order.  ``interrupted_ids`` are cells that were *under
+        lease* when the coordinator died — their hosts may or may not still be
+        alive, so the caller requeues them (attempts carried); if the original host
+        later completes one anyway, the result store's later-duplicates-win put
+        makes the double harmless.
+        """
+        self.replay_errors = 0
+        cells: Dict[str, CellState] = {}
+        pending: List[str] = []
+        leased: List[str] = []
+        done: set = set()
+        if not os.path.exists(self.path):
+            return cells, pending, leased
+        with open(self.path, "r", encoding="utf-8") as handle:
+            first = handle.readline()
+            try:
+                header = json.loads(first) if first.endswith("\n") else None
+            except ValueError:
+                header = None
+            if not isinstance(header, dict) or header.get("format") != _JOURNAL_FORMAT:
+                self.replay_errors += 1
+                return cells, pending, leased
+            for line in handle:
+                if not line.endswith("\n"):
+                    self.replay_errors += 1  # torn tail: the transition is re-derived
+                    break
+                try:
+                    row = json.loads(line)
+                    event, cell_id = str(row["e"]), str(row["c"])
+                except (ValueError, KeyError, TypeError):
+                    self.replay_errors += 1
+                    continue
+                if event == "reg":
+                    if cell_id not in cells:
+                        cells[cell_id] = CellState(cell_id, meta=dict(row.get("m") or {}))
+                        pending.append(cell_id)
+                elif event == "grant":
+                    state = cells.setdefault(cell_id, CellState(cell_id))
+                    state.attempts = int(row.get("a", state.attempts + 1))
+                    if cell_id in pending:
+                        pending.remove(cell_id)
+                    if cell_id not in leased:
+                        leased.append(cell_id)
+                elif event == "requeue":
+                    state = cells.setdefault(cell_id, CellState(cell_id))
+                    state.attempts = int(row.get("a", state.attempts))
+                    if cell_id in leased:
+                        leased.remove(cell_id)
+                    if cell_id not in pending:
+                        pending.append(cell_id)
+                elif event == "done":
+                    done.add(cell_id)
+                    if cell_id in pending:
+                        pending.remove(cell_id)
+                    if cell_id in leased:
+                        leased.remove(cell_id)
+        for cell_id in done:
+            cells.pop(cell_id, None)
+        return cells, pending, leased

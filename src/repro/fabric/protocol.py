@@ -1,0 +1,187 @@
+"""Wire protocol of the sweep fabric: JSON lines over TCP, stdlib only.
+
+One frame is one JSON object terminated by a newline — the same torn-tail discipline
+as the JSONL stores: a writer killed mid-frame leaves a partial line with no
+terminator, and the reader treats any unterminated line as EOF rather than an error,
+so a torn handoff degrades to a dropped connection (which lease expiry then heals),
+never to a half-parsed command.
+
+The module also owns endpoint parsing (``host:port[/namespace]``, the string a
+``Session(store=...)`` uses to reach a coordinator) and the **network chaos hook**:
+:class:`~repro.core.chaos.ChaosMonkey` installs a callable here that every frame
+send passes through, so seeded connection drops, heartbeat delays and torn mid-frame
+writes can be injected at deterministic points without the runtime importing the
+chaos harness.  Nothing in this module imports from the rest of the package.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "Endpoint",
+    "FabricConnectionError",
+    "FabricError",
+    "FabricProtocolError",
+    "looks_like_endpoint",
+    "net_hook",
+    "offline_fallback_hint",
+    "parse_endpoint",
+    "recv_frame",
+    "send_frame",
+    "set_net_hook",
+]
+
+#: Version of the fabric wire protocol.  Bumped on incompatible change; the hello
+#: handshake rejects version-mismatched peers with an actionable error instead of
+#: letting two incompatible hosts corrupt one queue.
+PROTOCOL_VERSION = 1
+
+#: Default namespace a bare ``host:port`` endpoint resolves to.
+DEFAULT_NAMESPACE = "default"
+
+
+class FabricError(RuntimeError):
+    """Base class of every fabric failure."""
+
+
+class FabricProtocolError(FabricError):
+    """The peer spoke, but wrongly: bad frame, version or namespace mismatch."""
+
+
+class FabricConnectionError(FabricError):
+    """The coordinator could not be reached (connect, or reconnect budget spent)."""
+
+
+def offline_fallback_hint() -> str:
+    """The degradation advice every connection-failure message carries."""
+    return (
+        "offline fallback: run the sweep locally with --results <file> and fold the "
+        "stores together later with `repro results merge`"
+    )
+
+
+# ------------------------------------------------------------------ endpoints
+@dataclass(frozen=True)
+class Endpoint:
+    """A parsed ``host:port[/namespace]`` coordinator address."""
+
+    host: str
+    port: int
+    namespace: str = DEFAULT_NAMESPACE
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def __str__(self) -> str:
+        return f"{self.host}:{self.port}/{self.namespace}"
+
+
+_ENDPOINT_SHAPE = re.compile(r"^(?P<host>[^/:\s]+):(?P<port>[^/\s]*)(?:/(?P<ns>.*))?$")
+
+
+def looks_like_endpoint(value: Any) -> bool:
+    """Whether a ``store=`` string names a coordinator rather than a file.
+
+    The shape is ``host:port[/namespace]`` — one colon, no path separators before
+    it.  A string that *looks* like an endpoint but has a malformed port is still
+    claimed here (and :func:`parse_endpoint` raises the actionable error), because
+    ``localhost:70b7`` is a typoed address, not a plausible cache filename.
+    """
+    if not isinstance(value, str):
+        return False
+    match = _ENDPOINT_SHAPE.match(value)
+    if match is None:
+        return False
+    # ``sweep.jsonl:old`` and friends stay files: a host part with a suffix dot and
+    # a non-numeric port is far more likely a mistyped path than an address.
+    host, port = match.group("host"), match.group("port")
+    if "." in host and not host.replace(".", "").isdigit() and not port.isdigit():
+        return False
+    return True
+
+
+def parse_endpoint(value: str, default_namespace: str = DEFAULT_NAMESPACE) -> Endpoint:
+    """Parse ``host:port[/namespace]``, failing with an actionable message.
+
+    >>> parse_endpoint("127.0.0.1:7077/prod")
+    Endpoint(host='127.0.0.1', port=7077, namespace='prod')
+    """
+    match = _ENDPOINT_SHAPE.match(str(value))
+    if match is None:
+        raise ValueError(
+            f"{value!r}: not a coordinator endpoint — expected host:port[/namespace], "
+            "e.g. 127.0.0.1:7077/prod"
+        )
+    host, port, namespace = match.group("host"), match.group("port"), match.group("ns")
+    if not port.isdigit() or not 0 <= int(port) <= 65535:
+        raise ValueError(
+            f"bad port {port!r} in {value!r} — expected host:port[/namespace] with a "
+            "numeric port, e.g. 127.0.0.1:7077/prod"
+        )
+    if namespace == "":
+        # ``host:port/`` — a dangling slash is a truncated namespace, not a default.
+        raise ValueError(
+            f"{value!r}: empty namespace after '/' — drop the slash for the "
+            f"'{default_namespace}' namespace or name one, e.g. {host}:{port}/prod"
+        )
+    return Endpoint(host=host, port=int(port), namespace=namespace or default_namespace)
+
+
+# ------------------------------------------------------------------ chaos hook
+#: When set, every frame send calls ``hook(direction, op)``.  The hook may sleep
+#: (heartbeat delay), raise a ``ConnectionError`` (seeded drop), or return the
+#: string ``"tear"`` to make :func:`send_frame` write half the frame and abort —
+#: the torn mid-frame write a SIGKILL between ``write`` and the newline leaves.
+_NET_HOOK: Optional[Callable[[str, str], Optional[str]]] = None
+
+
+def set_net_hook(hook: Optional[Callable[[str, str], Optional[str]]]) -> None:
+    global _NET_HOOK
+    _NET_HOOK = hook
+
+
+def net_hook() -> Optional[Callable[[str, str], Optional[str]]]:
+    return _NET_HOOK
+
+
+# ------------------------------------------------------------------ framing
+def send_frame(wfile, message: Dict[str, Any]) -> None:
+    """Write one frame (JSON object + newline) and flush.
+
+    Raises whatever the transport raises on a dead peer (``ConnectionError`` /
+    ``OSError``); the chaos hook can force the torn-write variant deterministically.
+    """
+    data = (json.dumps(message) + "\n").encode("utf-8")
+    hook = _NET_HOOK
+    if hook is not None:
+        action = hook("send", str(message.get("op", "")))
+        if action == "tear":
+            wfile.write(data[: max(1, len(data) // 2)])
+            wfile.flush()
+            raise ConnectionResetError("chaos: torn mid-frame write")
+    wfile.write(data)
+    wfile.flush()
+
+
+def recv_frame(rfile) -> Optional[Dict[str, Any]]:
+    """Read one frame; ``None`` on EOF *or* a torn (unterminated) trailing line.
+
+    A frame that is terminated but unparseable is a protocol violation and raises
+    :class:`FabricProtocolError` — the peer is confused, not dead.
+    """
+    line = rfile.readline()
+    if not line or not line.endswith(b"\n"):
+        return None  # EOF, or the peer died mid-frame: either way the frame is gone
+    try:
+        frame = json.loads(line.decode("utf-8"))
+    except ValueError as exc:
+        raise FabricProtocolError(f"unparseable fabric frame: {exc}") from exc
+    if not isinstance(frame, dict):
+        raise FabricProtocolError(f"fabric frame must be an object, got {type(frame).__name__}")
+    return frame

@@ -1,0 +1,488 @@
+"""The ``repro serve`` coordinator: authoritative stores plus a leased cell queue.
+
+One :class:`FabricCoordinator` owns a store directory::
+
+    <store-dir>/results.jsonl   # the authoritative ResultStore (rows, statuses)
+    <store-dir>/cache.jsonl     # the authoritative evaluation-cache store
+    <store-dir>/leases.jsonl    # the append-only lease journal (restart recovery)
+
+and serves the fabric protocol over TCP.  Hosts register the cells of the matrix
+they are sweeping (content-derived ids make concurrent registrations of the same
+matrix merge), then claim cells one at a time under heartbeat-renewed leases and
+stream completed rows back write-through.  Work-stealing falls out of the queue: a
+fast host simply claims more cells than a slow one.
+
+Concurrency model (the ``radical.utils`` bridge idiom): connection handlers run on
+threads but never touch state — every command is enqueued to one **dispatcher
+thread** that owns the queue, the lease table, the journal and both stores.  That
+single writer is what makes grant/requeue/quarantine ordering deterministic and
+keeps the sqlite/JSONL backends free of cross-thread use.  A reaper timer enqueues
+a tick like any other command; expired leases are requeued with the attempt count
+carried, and a cell whose granted attempt already reached the global budget is
+quarantined as a ``status="failed"`` row exactly as the local retry loop would.
+
+Restart recovery: completed cell ids come from the result store, queue transitions
+from the journal; leases that were live at the crash are requeued (their hosts may
+have died with the coordinator).  If a presumed-dead host completes anyway, the
+result store's later-duplicates-win put makes the double write harmless — pricing
+is pure, so both rows are byte-identical.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import socketserver
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.core.evalcache import EvaluationCache, decode_value, encode_value
+from repro.api.results import open_result_store, record_status
+from repro.fabric.leases import CellState, LeaseJournal, LeaseTable
+from repro.fabric.protocol import (
+    PROTOCOL_VERSION,
+    FabricProtocolError,
+    recv_frame,
+    send_frame,
+)
+
+__all__ = ["FabricCoordinator"]
+
+#: Filenames inside a coordinator store directory.
+RESULTS_FILENAME = "results.jsonl"
+CACHE_FILENAME = "cache.jsonl"
+JOURNAL_FILENAME = "leases.jsonl"
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One connected host: hello handshake, then a command/reply loop."""
+
+    def handle(self) -> None:  # pragma: no cover - exercised via live sockets
+        coordinator: "FabricCoordinator" = self.server.coordinator  # type: ignore[attr-defined]
+        try:
+            hello = recv_frame(self.rfile)
+        except FabricProtocolError as exc:
+            self._reply({"ok": False, "kind": "protocol", "error": str(exc)})
+            return
+        if hello is None:
+            return
+        reply = coordinator.check_hello(hello)
+        if not self._reply(reply) or not reply.get("ok"):
+            return
+        while True:
+            try:
+                frame = recv_frame(self.rfile)
+            except FabricProtocolError as exc:
+                self._reply({"ok": False, "kind": "protocol", "error": str(exc)})
+                return
+            if frame is None or frame.get("op") == "bye":
+                return
+            if not self._reply(coordinator.dispatch(frame)):
+                return
+
+    def _reply(self, message: Dict[str, Any]) -> bool:
+        try:
+            send_frame(self.wfile, message)
+            return True
+        except (ConnectionError, OSError):
+            return False  # host went away mid-reply; lease expiry cleans up
+
+
+class _Server(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class FabricCoordinator:
+    """Owns the authoritative stores and the leased cell queue (see module docstring)."""
+
+    def __init__(
+        self,
+        store_dir: str,
+        namespace: str = "default",
+        lease_s: float = 10.0,
+        tick_s: Optional[float] = None,
+        default_max_attempts: int = 3,
+    ) -> None:
+        self.store_dir = str(store_dir)
+        os.makedirs(self.store_dir, exist_ok=True)
+        self.namespace = str(namespace)
+        self.lease_s = float(lease_s)
+        #: How often expired leases are reaped; a quarter window keeps detection
+        #: latency well under one lease without busy-polling.
+        self.tick_s = float(tick_s) if tick_s is not None else max(self.lease_s / 4.0, 0.05)
+        self.default_max_attempts = int(default_max_attempts)
+
+        self.results = open_result_store(os.path.join(self.store_dir, RESULTS_FILENAME))
+        self.cache = EvaluationCache(
+            max_entries=None, store=os.path.join(self.store_dir, CACHE_FILENAME)
+        )
+        self.journal = LeaseJournal(os.path.join(self.store_dir, JOURNAL_FILENAME))
+        self.leases = LeaseTable(lease_s=self.lease_s)
+
+        #: cell_id -> CellState for every registered, not-yet-settled cell.
+        self._cells: Dict[str, CellState] = {}
+        #: FIFO of claimable cell ids (registered or requeued, not leased).
+        self._pending: List[str] = []
+        #: Settled cell ids (ok or quarantined rows in the result store).
+        self._completed: set = set()
+        #: host -> last heartbeat wall-clock (observability only).
+        self._hosts_seen: Dict[str, float] = {}
+        #: Counters surfaced by the ``stats`` op and asserted by the chaos tests.
+        self.requeues = 0
+        self.quarantines = 0
+        self.expiries = 0
+
+        self._requests: "queue.Queue" = queue.Queue()
+        self._server: Optional[_Server] = None
+        self._threads: List[threading.Thread] = []
+        self._stop = threading.Event()
+        self._recover()
+
+    # ------------------------------------------------------------------ recovery
+    def _recover(self) -> None:
+        """Rebuild the queue from the result store plus the lease journal."""
+        for cell_id, record in self.results.load().items():
+            del record
+            self._completed.add(cell_id)
+        cells, pending, interrupted = self.journal.replay()
+        for cell_id, state in cells.items():
+            if cell_id in self._completed:
+                continue
+            self._cells[cell_id] = state
+        for cell_id in pending + interrupted:
+            if cell_id in self._completed or cell_id not in self._cells:
+                continue
+            if cell_id not in self._pending:
+                self._pending.append(cell_id)
+        for cell_id in interrupted:
+            # The lease died with the previous coordinator; put the transition on
+            # the record so a second restart replays to the same queue.
+            if cell_id in self._cells:
+                self.journal.append("requeue", cell_id, a=self._cells[cell_id].attempts)
+                self.requeues += 1
+
+    # ------------------------------------------------------------------ lifecycle
+    def start(self, bind: str = "127.0.0.1:0") -> str:
+        """Bind, start the handler/dispatcher/reaper threads, return ``host:port``."""
+        host, _, port = bind.partition(":")
+        self._server = _Server((host or "127.0.0.1", int(port or 0)), _Handler)
+        self._server.coordinator = self  # type: ignore[attr-defined]
+        self._threads = [
+            threading.Thread(target=self._server.serve_forever, name="fabric-accept", daemon=True),
+            threading.Thread(target=self._dispatch_loop, name="fabric-dispatch", daemon=True),
+            threading.Thread(target=self._reap_loop, name="fabric-reaper", daemon=True),
+        ]
+        for thread in self._threads:
+            thread.start()
+        return self.address
+
+    @property
+    def address(self) -> str:
+        if self._server is None:
+            raise RuntimeError("coordinator is not serving (call start())")
+        host, port = self._server.server_address[:2]
+        return f"{host}:{port}"
+
+    def stop(self) -> None:
+        """Stop serving and close every store.  Idempotent."""
+        if self._stop.is_set():
+            return
+        self._stop.set()
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+        self._requests.put(None)  # unblock the dispatcher
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        self.cache.flush()
+        self.cache.close()
+        self.results.close()
+        self.journal.close()
+
+    def __enter__(self) -> "FabricCoordinator":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ handshake
+    def check_hello(self, hello: Dict[str, Any]) -> Dict[str, Any]:
+        """Validate a peer's hello (stateless, safe outside the dispatcher)."""
+        if hello.get("op") != "hello":
+            return {"ok": False, "kind": "protocol", "error": "expected a hello frame first"}
+        version = hello.get("version")
+        if version != PROTOCOL_VERSION:
+            return {
+                "ok": False,
+                "kind": "version",
+                "error": f"fabric protocol v{version} != server v{PROTOCOL_VERSION}",
+                "version": PROTOCOL_VERSION,
+            }
+        namespace = str(hello.get("namespace", ""))
+        if namespace != self.namespace:
+            return {
+                "ok": False,
+                "kind": "namespace",
+                "error": f"namespace {namespace!r} is not served here",
+                "namespace": self.namespace,
+            }
+        return {
+            "ok": True,
+            "version": PROTOCOL_VERSION,
+            "namespace": self.namespace,
+            "lease_s": self.lease_s,
+        }
+
+    # ------------------------------------------------------------------ dispatch
+    def dispatch(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Run one command on the dispatcher thread and wait for its reply."""
+        reply_queue: "queue.Queue" = queue.Queue()
+        self._requests.put((frame, reply_queue))
+        return reply_queue.get()
+
+    def _dispatch_loop(self) -> None:
+        handlers = {
+            "register": self._op_register,
+            "claim": self._op_claim,
+            "heartbeat": self._op_heartbeat,
+            "complete": self._op_complete,
+            "fail": self._op_fail,
+            "cache_pull": self._op_cache_pull,
+            "cache_push": self._op_cache_push,
+            "stats": self._op_stats,
+            "_tick": self._op_tick,
+        }
+        while True:
+            item = self._requests.get()
+            if item is None:
+                return
+            frame, reply_queue = item
+            handler = handlers.get(str(frame.get("op", "")))
+            if handler is None:
+                error = f"unknown op {frame.get('op')!r}"
+                reply = {"ok": False, "kind": "protocol", "error": error}
+            else:
+                try:
+                    reply = handler(frame)
+                except Exception as exc:  # surface, don't kill the dispatcher
+                    error = f"{type(exc).__name__}: {exc}"
+                    reply = {"ok": False, "kind": "internal", "error": error}
+            if reply_queue is not None:
+                reply_queue.put(reply)
+
+    def _reap_loop(self) -> None:
+        while not self._stop.wait(self.tick_s):
+            self._requests.put(({"op": "_tick"}, None))
+
+    # ------------------------------------------------------------------ queue ops
+    def _op_register(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Merge a host's matrix into the queue; reply with already-settled ids.
+
+        A cell with an ``ok`` row in the store is settled.  A cell with a *failed*
+        row is re-registered (fresh budget) unless the host asked ``skip_failed``
+        — the same resume semantics as a local sweep.
+        """
+        host = str(frame.get("host", ""))
+        skip_failed = bool(frame.get("skip_failed", False))
+        max_attempts = int(frame.get("max_attempts", self.default_max_attempts))
+        completed: List[str] = []
+        registered = 0
+        for cell in frame.get("cells", []):
+            cell_id = str(cell["id"])
+            if cell_id in self._completed:
+                record = self.results.get(cell_id)
+                failed = record is not None and record_status(record) == "failed"
+                if not failed or skip_failed:
+                    completed.append(cell_id)
+                    continue
+                self._completed.discard(cell_id)  # re-attempt under a fresh budget
+            state = self._cells.get(cell_id)
+            if state is None:
+                state = CellState(
+                    cell_id,
+                    meta={
+                        "kind": cell.get("kind", "?"),
+                        "label": cell.get("label", ""),
+                        "spec": cell.get("spec"),
+                        "max_attempts": max_attempts,
+                    },
+                )
+                self._cells[cell_id] = state
+                self._pending.append(cell_id)
+                self.journal.append("reg", cell_id, m=state.meta)
+                registered += 1
+            state.hosts.add(host)
+        self._hosts_seen[host] = time.time()
+        return {"ok": True, "completed": completed, "registered": registered}
+
+    def _op_claim(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Lease the oldest pending cell this host registered, bumping its attempt.
+
+        No claimable cell: ``wait`` while any of the host's cells could still come
+        back (leased elsewhere, or pending under another host's exclusive claim
+        set), ``drained`` once every cell the host registered is settled.
+        """
+        host = str(frame.get("host", ""))
+        for index, cell_id in enumerate(self._pending):
+            state = self._cells.get(cell_id)
+            if state is None:
+                continue
+            if state.hosts and host not in state.hosts:
+                continue  # another matrix's cell; this host cannot price it
+            del self._pending[index]
+            state.attempts += 1
+            self.journal.append("grant", cell_id, h=host, a=state.attempts)
+            self.leases.grant(cell_id, host, state.attempts)
+            return {
+                "ok": True,
+                "cell": cell_id,
+                "attempt": state.attempts,
+                "max_attempts": int(state.meta.get("max_attempts", self.default_max_attempts)),
+            }
+        outstanding = any(host in state.hosts for state in self._cells.values())
+        if outstanding:
+            return {"ok": True, "wait": True, "poll_s": min(self.tick_s, 0.25)}
+        return {"ok": True, "drained": True}
+
+    def _op_heartbeat(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        host = str(frame.get("host", ""))
+        renewed = self.leases.renew(host)
+        self._hosts_seen[host] = time.time()
+        return {"ok": True, "renewed": renewed}
+
+    def _op_complete(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Write one completed row through and settle the cell.
+
+        Idempotent under requeue races: a presumed-dead host completing a cell that
+        was already requeued (or even re-completed elsewhere) just overwrites with
+        byte-identical bytes — later duplicates win, nothing is priced differently.
+        """
+        cell_id = str(frame.get("cell", ""))
+        record = frame.get("record") or {}
+        self.results.put(cell_id, record)
+        self.journal.append("done", cell_id)
+        self.leases.release(cell_id)
+        if cell_id in self._pending:
+            self._pending.remove(cell_id)
+        self._cells.pop(cell_id, None)
+        self._completed.add(cell_id)
+        return {"ok": True}
+
+    def _op_fail(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """One failed attempt: requeue with attempts carried, or quarantine.
+
+        Stale reports — the host's lease already expired and the reaper requeued
+        (or quarantined) the cell — are acknowledged without acting, so one failure
+        never burns two attempts.
+        """
+        host = str(frame.get("host", ""))
+        cell_id = str(frame.get("cell", ""))
+        lease = self.leases.get(cell_id)
+        if lease is None or lease.host != host:
+            return {"ok": True, "stale": True, "quarantined": cell_id in self._completed}
+        state = self._cells.get(cell_id)
+        self.leases.release(cell_id)
+        if state is None:
+            return {"ok": True, "stale": True, "quarantined": cell_id in self._completed}
+        max_attempts = int(state.meta.get("max_attempts", self.default_max_attempts))
+        if state.attempts >= max_attempts:
+            record = frame.get("record") or self._quarantine_record(
+                state, f"attempt {state.attempts} failed on host {host}"
+            )
+            self.results.put(cell_id, record)
+            self.journal.append("done", cell_id)
+            self._cells.pop(cell_id, None)
+            self._completed.add(cell_id)
+            self.quarantines += 1
+            return {"ok": True, "quarantined": True}
+        self.journal.append("requeue", cell_id, a=state.attempts)
+        self._pending.append(cell_id)
+        self.requeues += 1
+        return {"ok": True, "quarantined": False}
+
+    def _op_tick(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Reap expired leases: requeue (attempts carried) or quarantine dead cells."""
+        del frame
+        for lease in self.leases.expired():
+            self.leases.release(lease.cell_id)
+            self.expiries += 1
+            state = self._cells.get(lease.cell_id)
+            if state is None or lease.cell_id in self._completed:
+                continue
+            max_attempts = int(state.meta.get("max_attempts", self.default_max_attempts))
+            if state.attempts >= max_attempts:
+                record = self._quarantine_record(
+                    state,
+                    f"host {lease.host} lost its lease (missed the heartbeat window) "
+                    f"on attempt {state.attempts}/{max_attempts}",
+                )
+                self.results.put(lease.cell_id, record)
+                self.journal.append("done", lease.cell_id)
+                self._cells.pop(lease.cell_id, None)
+                self._completed.add(lease.cell_id)
+                self.quarantines += 1
+            else:
+                self.journal.append("requeue", lease.cell_id, a=state.attempts)
+                self._pending.append(lease.cell_id)
+                self.requeues += 1
+        return {"ok": True}
+
+    def _quarantine_record(self, state: CellState, reason: str) -> Dict[str, Any]:
+        """A ``status="failed"`` row for a cell whose attempt died with its host."""
+        return {
+            "result": {
+                "kind": state.meta.get("kind", "?"),
+                "label": state.meta.get("label", ""),
+                "cell_id": state.cell_id,
+                "plan": None,
+                "oom": None,
+                "status": "failed",
+                "error": reason,
+                "metrics": {},
+            },
+            "spec": state.meta.get("spec"),
+            "seconds": 0.0,
+            "attempts": state.attempts,
+            "written_at": time.time(),
+        }
+
+    # ------------------------------------------------------------------ cache ops
+    def _op_cache_pull(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Ship the authoritative cache (encoded) to a warm-starting host."""
+        del frame
+        entries = {key: encode_value(value) for key, value in self.cache.export().items()}
+        return {"ok": True, "entries": entries}
+
+    def _op_cache_push(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Absorb a host's freshly priced entries into the authoritative cache."""
+        decoded = {
+            str(key): decode_value(value) for key, value in (frame.get("entries") or {}).items()
+        }
+        adopted = self.cache.absorb(decoded)
+        if adopted:
+            self.cache.flush()
+        return {"ok": True, "adopted": adopted}
+
+    # ------------------------------------------------------------------ stats
+    def _op_stats(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        del frame
+        return {
+            "ok": True,
+            "namespace": self.namespace,
+            "pending": len(self._pending),
+            "leased": len(self.leases),
+            "registered": len(self._cells),
+            "completed": len(self._completed),
+            "hosts": sorted(self._hosts_seen),
+            "requeues": self.requeues,
+            "quarantines": self.quarantines,
+            "expiries": self.expiries,
+            "cache_entries": len(self.cache),
+        }
+
+    # ------------------------------------------------------------------ test hooks
+    def snapshot(self) -> Dict[str, Any]:
+        """Queue counters via the dispatcher (so tests see a consistent view)."""
+        return self.dispatch({"op": "stats"})
