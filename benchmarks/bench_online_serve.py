@@ -1,0 +1,136 @@
+#!/usr/bin/env python
+"""Online-serving throughput benchmark for the trace engine.
+
+Generates one seeded trace (``--jobs`` Poisson arrivals of the tiny workload on a
+two-wafer tiny fleet, with one mid-trace fault storm) and serves it twice on two
+fresh sessions.  The measured number is ``jobs_per_sec`` — scheduled jobs per
+wall-clock second for the *second* serve (both serves run the full engine; timing
+the second keeps one-time interpreter/import warmup out of the gate while still
+paying the real per-run pricing search, which the engine memoizes per
+``(wafer, workload)`` pair).
+
+The two serves write separate result stores which must agree **byte-identically**
+(``rows_match``) — all stored timestamps are virtual, so replay determinism is a
+hard property, not a statistical one.  ``--json`` emits the metrics dict that
+``benchmarks/perf_gate.py --online`` gates (floor: ≥1k jobs/s on the default
+tiny preset).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_online_serve.py --json -
+    PYTHONPATH=src python benchmarks/bench_online_serve.py --jobs 10000 --policy edf
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+from repro.api import Session
+from repro.online import StormSpec, generate_trace
+
+
+def build_trace(jobs: int, seed: int):
+    return generate_trace(
+        jobs=jobs,
+        rate=50.0,
+        seed=seed,
+        workloads=["tiny"],
+        fleet=["tiny", "tiny"],
+        deadline_s=30.0,
+        storms=[
+            StormSpec(
+                wafer=0, at=jobs / 100.0, duration=5.0,
+                die_fault_rate=0.25, mean_repair_s=2.0,
+            )
+        ],
+        name="bench-online",
+    )
+
+
+def run_serve(trace, path: str, policy: str, flush_every: int) -> float:
+    """One timed serve into ``path``; returns elapsed seconds."""
+    with Session() as session:
+        start = time.perf_counter()
+        report = session.serve(
+            trace, policy=policy, results=path, flush_every=flush_every
+        )
+    elapsed = time.perf_counter() - start
+    if report.failed:
+        raise RuntimeError(f"benchmark serve had {report.failed} failed jobs")
+    return elapsed
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=5000, help="trace arrival count")
+    parser.add_argument("--seed", type=int, default=0, help="trace generator seed")
+    parser.add_argument(
+        "--policy", choices=("fcfs", "edf", "affinity"), default="fcfs",
+        help="placement policy under test (default fcfs)",
+    )
+    parser.add_argument(
+        "--flush-every", type=int, default=256,
+        help="store write batch size (1 = write-through; batching is I/O-only "
+             "and never changes row content)",
+    )
+    parser.add_argument(
+        "--json", metavar="OUT", default=None,
+        help="write the metrics as JSON to this path ('-' for stdout)",
+    )
+    args = parser.parse_args(argv)
+
+    trace = build_trace(args.jobs, args.seed)
+    tmpdir = tempfile.mkdtemp(prefix="bench-online-")
+    first_store = os.path.join(tmpdir, "first.jsonl")
+    second_store = os.path.join(tmpdir, "second.jsonl")
+    try:
+        first_time = run_serve(trace, first_store, args.policy, args.flush_every)
+        second_time = run_serve(trace, second_store, args.policy, args.flush_every)
+        with open(first_store, "rb") as handle:
+            first_bytes = handle.read()
+        with open(second_store, "rb") as handle:
+            second_bytes = handle.read()
+        rows_match = first_bytes == second_bytes
+    finally:
+        for path in (first_store, second_store):
+            if os.path.exists(path):
+                os.unlink(path)
+        os.rmdir(tmpdir)
+
+    if not rows_match:
+        print(
+            "ERROR: two serves of the same trace wrote different stores",
+            file=sys.stderr,
+        )
+
+    metrics = {
+        "jobs": args.jobs,
+        "policy": args.policy,
+        "flush_every": args.flush_every,
+        "first_seconds": first_time,
+        "seconds": second_time,
+        "jobs_per_sec": args.jobs / second_time,
+        "rows_match": rows_match,
+    }
+    print(
+        f"online serve {args.jobs} jobs [{args.policy}]: "
+        f"{second_time:.2f}s ({metrics['jobs_per_sec']:.0f} jobs/s, "
+        f"stores {'byte-identical' if rows_match else 'DIVERGED'})"
+    )
+    if args.json == "-":
+        json.dump(metrics, sys.stdout, indent=2)
+        print()
+    elif args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(metrics, handle, indent=2)
+        print(f"metrics written to {args.json}")
+    return 0 if rows_match else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

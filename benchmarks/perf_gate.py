@@ -12,7 +12,9 @@ Two modes:
   - ``multiwafer_warm_hit_rate`` — warm-start hit rate of a second multi-wafer GA
     run against a persisted store (read from the ``--multiwafer`` metrics file);
   - ``sweep_cells_per_sec`` — two-level scheduler sweep throughput (read from the
-    ``--sweep`` metrics file written by ``bench_sweep_throughput.py``).
+    ``--sweep`` metrics file written by ``bench_sweep_throughput.py``);
+  - ``online_jobs_per_sec`` — trace-serving throughput of the online engine (read
+    from the ``--online`` metrics file written by ``bench_online_serve.py``).
 
   The throughput metrics fail when they drop more than ``--max-drop`` (30 % by
   default) below the baseline value; the hit rate is machine-independent and is
@@ -59,6 +61,9 @@ MULTIWAFER_ARGS = [
 SWEEP_ARGS = [
     "--cells", "8", "--population", "6", "--generations", "3", "--jobs", "2",
 ]
+#: The online-serving measurement run used by both --refresh and the CI workflow
+#: (keep .github/workflows/ci.yml in sync when changing this).
+ONLINE_ARGS = ["--jobs", "5000"]
 
 
 def load_json(path: str) -> dict:
@@ -102,6 +107,7 @@ def check(
     max_drop: float,
     multiwafer_path: str = None,
     sweep_path: str = None,
+    online_path: str = None,
 ) -> int:
     current = load_json(current_path)
     baseline = load_json(baseline_path)
@@ -168,6 +174,29 @@ def check(
                     max_drop,
                 )
 
+    if "online_jobs_per_sec" in baseline:
+        if online_path is None:
+            print("FAIL: baseline gates online_jobs_per_sec but no --online "
+                  "metrics file was given")
+            failed = True
+        else:
+            online = load_json(online_path)
+            if not online.get("rows_match", False):
+                print("FAIL: online benchmark reports rows_match false — two "
+                      "serves of one trace wrote different stores")
+                return 1
+            if "jobs_per_sec" not in online:
+                print(f"FAIL: metric 'jobs_per_sec' missing from {online_path} — "
+                      "the JSON predates this gate; re-run the benchmark")
+                failed = True
+            else:
+                failed |= not _gate_one(
+                    "online_jobs_per_sec",
+                    online["jobs_per_sec"],
+                    baseline["online_jobs_per_sec"],
+                    max_drop,
+                )
+
     if "speedup" in current:
         print(f"      cache speedup {current['speedup']:.1f}x, "
               f"hit rate {current.get('cache_hit_rate', 0.0):.1%}")
@@ -185,6 +214,7 @@ def refresh(out_path: str, headroom: float, population: int, generations: int) -
     sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
     from bench_fig24_multiwafer_ga import main as multiwafer_main
+    from bench_online_serve import main as online_main
     from bench_search_throughput import main as bench_main
     from bench_sweep_throughput import main as sweep_main
 
@@ -192,6 +222,7 @@ def refresh(out_path: str, headroom: float, population: int, generations: int) -
     search_json = os.path.join(tmpdir, "search.json")
     warm_json = os.path.join(tmpdir, "multiwafer.json")
     sweep_json = os.path.join(tmpdir, "sweep.json")
+    online_json = os.path.join(tmpdir, "online.json")
     store = os.path.join(tmpdir, "multiwafer.jsonl")
     try:
         status = bench_main(
@@ -207,14 +238,17 @@ def refresh(out_path: str, headroom: float, population: int, generations: int) -
             )
         if status == 0:
             status = sweep_main([*SWEEP_ARGS, "--json", sweep_json])
+        if status == 0:
+            status = online_main([*ONLINE_ARGS, "--json", online_json])
         if status != 0:
             print("FAIL: benchmark run failed; baseline not refreshed")
             return status
         measured = load_json(search_json)
         warm = load_json(warm_json)
         sweep = load_json(sweep_json)
+        online = load_json(online_json)
     finally:
-        for path in (search_json, warm_json, sweep_json, store):
+        for path in (search_json, warm_json, sweep_json, online_json, store):
             if os.path.exists(path):
                 os.unlink(path)
         os.rmdir(tmpdir)
@@ -224,10 +258,12 @@ def refresh(out_path: str, headroom: float, population: int, generations: int) -
         "parallel_evals_per_sec": measured["parallel_evals_per_sec"] * (1.0 - headroom),
         "multiwafer_warm_hit_rate": warm["cache_hit_rate"] * (1.0 - HIT_RATE_HEADROOM),
         "sweep_cells_per_sec": sweep["cells_per_sec"] * (1.0 - headroom),
+        "online_jobs_per_sec": online["jobs_per_sec"] * (1.0 - headroom),
         "measured_evals_per_sec": measured["evals_per_sec"],
         "measured_parallel_evals_per_sec": measured["parallel_evals_per_sec"],
         "measured_multiwafer_warm_hit_rate": warm["cache_hit_rate"],
         "measured_sweep_cells_per_sec": sweep["cells_per_sec"],
+        "measured_online_jobs_per_sec": online["jobs_per_sec"],
         "sweep_speedup_at_refresh": sweep.get("sweep_speedup"),
         "headroom": headroom,
         "hit_rate_headroom": HIT_RATE_HEADROOM,
@@ -246,7 +282,8 @@ def refresh(out_path: str, headroom: float, population: int, generations: int) -
         f"baseline refreshed: evals_per_sec gate {baseline['evals_per_sec']:,.0f}, "
         f"parallel gate {baseline['parallel_evals_per_sec']:,.0f}, "
         f"warm hit-rate gate {baseline['multiwafer_warm_hit_rate']:.3f}, "
-        f"sweep gate {baseline['sweep_cells_per_sec']:,.1f} cells/s -> {out_path}"
+        f"sweep gate {baseline['sweep_cells_per_sec']:,.1f} cells/s, "
+        f"online gate {baseline['online_jobs_per_sec']:,.0f} jobs/s -> {out_path}"
     )
     return 0
 
@@ -259,6 +296,8 @@ def main(argv=None) -> int:
                         help="metrics from a warm bench_fig24_multiwafer_ga.py run")
     parser.add_argument("--sweep", metavar="JSON", default=None,
                         help="metrics from a bench_sweep_throughput.py run")
+    parser.add_argument("--online", metavar="JSON", default=None,
+                        help="metrics from a bench_online_serve.py run")
     parser.add_argument("--baseline", metavar="JSON", default=DEFAULT_BASELINE,
                         help="committed baseline (default: benchmarks/baseline.json)")
     parser.add_argument("--max-drop", type=float, default=0.30,
@@ -278,7 +317,8 @@ def main(argv=None) -> int:
     if not args.current:
         parser.error("--current is required unless --refresh is given")
     return check(
-        args.current, args.baseline, args.max_drop, args.multiwafer, args.sweep
+        args.current, args.baseline, args.max_drop, args.multiwafer, args.sweep,
+        args.online,
     )
 
 

@@ -109,6 +109,17 @@ class ResultStore:
         """One record, or ``None``."""
         return self.load().get(cell_id)
 
+    def put_many(self, items: Sequence[Tuple[str, Dict[str, Any]]]) -> None:
+        """Write a batch of ``(cell_id, record)`` rows, in order.
+
+        Semantically identical to calling :meth:`put` per row (same records, same
+        order, later duplicates win); backends override it to amortize the
+        per-write cost — one file open for JSONL, one transaction for sqlite —
+        which is what lets the online engine's ``flush_every`` batching pay off.
+        """
+        for cell_id, record in items:
+            self.put(cell_id, record)
+
     def replace_all(self, records: "OrderedDict[str, Dict[str, Any]]") -> None:
         """Atomically rewrite the store to exactly ``records`` (schema resets)."""
         raise NotImplementedError
@@ -175,18 +186,26 @@ class ResultStore:
         }
 
     def tail(
-        self, n: int = 10, status: Optional[str] = None
+        self, n: int = 10, status: Optional[str] = None, kind: Optional[str] = None
     ) -> List[Tuple[str, Dict[str, Any]]]:
         """The last ``n`` completed cells, oldest of them first.
 
         ``status`` filters by recorded cell status (``"failed"`` surfaces what a
-        long sweep quarantined; ``"ok"`` hides it).
+        long sweep quarantined; ``"ok"`` hides it).  ``kind`` filters by result
+        kind — ``kind="trace"`` tails an online run's job rows without wading
+        through the sweep cells sharing the store.
         """
         if n <= 0:
             return []
         rows = list(self.load().items())
         if status is not None:
             rows = [(cid, record) for cid, record in rows if record_status(record) == status]
+        if kind is not None:
+            rows = [
+                (cid, record)
+                for cid, record in rows
+                if (record.get("result") or {}).get("kind") == kind
+            ]
         return rows[-n:]
 
 
@@ -298,6 +317,24 @@ class JsonlResultStore(ResultStore):
             elif torn:
                 handle.write("\n")
             handle.write(json.dumps({"c": cell_id, "v": record}) + "\n")
+
+    def put_many(self, items: Sequence[Tuple[str, Dict[str, Any]]]) -> None:
+        """One append-mode open for the whole batch (rows identical to per-put)."""
+        if not items:
+            return
+        self._check_file()
+        if self._foreign_file:
+            _move_aside(self.path)
+            self._foreign_file = False
+        fresh = not os.path.exists(self.path)
+        torn = not fresh and not self._ends_with_newline(self.path)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            if fresh:
+                handle.write(self._header() + "\n")
+            elif torn:
+                handle.write("\n")
+            for cell_id, record in items:
+                handle.write(json.dumps({"c": cell_id, "v": record}) + "\n")
 
     def replace_all(self, records: "OrderedDict[str, Dict[str, Any]]") -> None:
         self._check_file()  # no-op when re-entered from the check itself
@@ -432,6 +469,25 @@ class SqliteResultStore(ResultStore):
         conn.execute(
             "INSERT OR REPLACE INTO results VALUES (?, ?, ?)",
             (str(cell_id), json.dumps(record), float(record.get("written_at") or 0.0)),
+        )
+        conn.commit()
+
+    def put_many(self, items: Sequence[Tuple[str, Dict[str, Any]]]) -> None:
+        """One transaction for the whole batch (rows identical to per-put)."""
+        if not items:
+            return
+        conn = self._validated()
+        if conn is None:
+            conn = self._connect()
+        conn.execute(
+            "INSERT OR REPLACE INTO meta VALUES ('namespace', ?)", (self.namespace,)
+        )
+        conn.executemany(
+            "INSERT OR REPLACE INTO results VALUES (?, ?, ?)",
+            [
+                (str(cell_id), json.dumps(record), float(record.get("written_at") or 0.0))
+                for cell_id, record in items
+            ],
         )
         conn.commit()
 

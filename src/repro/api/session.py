@@ -678,6 +678,63 @@ class Session:
             if owns_store and store is not None:
                 store.close()
 
+    def serve(
+        self,
+        trace,
+        *,
+        fleet: Optional[list] = None,
+        policy: str = "fcfs",
+        results: Optional[Union[str, os.PathLike, ResultStore]] = None,
+        resume: bool = True,
+        flush_every: int = 1,
+        max_tp: int = 0,
+    ):
+        """Serve a trace of arriving jobs online and return the ``ServeReport``.
+
+        ``trace`` is a :class:`~repro.online.trace.Trace` or a path to a
+        ``watos-trace`` JSONL file (``repro trace gen`` writes them).  Jobs are
+        placed on the fleet by the named :mod:`~repro.online.policy` (``fcfs``,
+        ``edf`` or ``affinity``), priced through this session's cache and pool by
+        the paper's own :class:`~repro.core.central_scheduler.CentralScheduler`,
+        and every job's queueing metrics stream write-through into the result
+        store — the ``results=`` argument, else the session's own, else the
+        ambient one, exactly like :meth:`sweep`.  All stored timestamps are
+        *virtual*, so re-serving the same trace (same fleet, same policy) writes
+        byte-identical rows; with ``resume=True`` rows already stored are skipped
+        instead of rewritten.  ``fleet`` overrides the trace's own wafer list;
+        ``flush_every`` batches store writes (1 = true write-through).
+        """
+        if self._closed:
+            raise RuntimeError("session is closed")
+        from repro.online.engine import OnlineEngine  # late: avoids import cycles
+
+        owns_store = isinstance(results, (str, os.PathLike))
+        store: Optional[ResultStore]
+        if owns_store:
+            store = open_result_store(results)
+        elif results is not None:
+            store = results
+        elif self.results is not None:
+            store = self.results
+        else:
+            store = runtime.current_results()
+        engine = OnlineEngine(
+            self,
+            fleet=fleet,
+            policy=policy,
+            store=store,
+            resume=resume,
+            flush_every=flush_every,
+            max_tp=max_tp,
+        )
+        try:
+            report = engine.serve(trace)
+        finally:
+            if owns_store and store is not None:
+                store.close()
+        self.cache.flush()
+        return report
+
     def _attempt_cell(self, cell, retry: RetryPolicy):
         """One tagged, deadline-armed attempt: ``(run, "")`` or ``(None, traceback)``.
 

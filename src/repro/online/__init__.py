@@ -1,0 +1,63 @@
+"""Online scenario engine: trace-driven request streams under a virtual clock.
+
+Every other entrypoint in the repo prices a *fixed* matrix; this package runs the
+paper's scheduler the way a serving system would — a stream of arriving jobs
+(workload, arrival time, deadline, fault events) placed *online* onto a fleet of
+wafers, priced through the same :class:`~repro.core.evaluator.Evaluator` +
+:class:`~repro.core.evalcache.EvaluationCache` stack as every offline search loop.
+
+The four pieces (see the module docstrings):
+
+* :mod:`repro.online.clock` / :mod:`repro.online.events` — the deterministic
+  discrete-event substrate: a virtual clock and a ``(time, seq)``-ordered event
+  queue, so the same trace and seed replay bit-identically;
+* :mod:`repro.online.trace` — the JSONL trace format, :func:`read_trace` /
+  :func:`write_trace`, and seeded synthetic generators (Poisson/diurnal arrivals,
+  :class:`~repro.hardware.faults.FaultInjector` fault storms, mixed model fleets);
+* :mod:`repro.online.engine` — the serving loop (:class:`OnlineEngine`): admit,
+  queue, place via a pluggable :class:`~repro.online.policy.OnlinePolicy`,
+  preempt/reschedule on fault events, complete;
+* :mod:`repro.online.metrics` — per-job wait/service/SLO-miss rows and fleet
+  utilization, streamed write-through into the existing
+  :class:`~repro.api.results.ResultStore`.
+
+The front door is :meth:`repro.api.Session.serve` (and the ``repro serve-trace`` /
+``repro trace gen`` CLI verbs); import from here for the building blocks.
+"""
+
+from repro.online.clock import VirtualClock
+from repro.online.engine import OnlineEngine, ServeReport
+from repro.online.events import EventQueue
+from repro.online.metrics import JobMetrics, fleet_summary, trace_cell_id
+from repro.online.policy import OnlinePolicy, POLICIES, resolve_policy
+from repro.online.trace import (
+    JobRequest,
+    StormSpec,
+    Trace,
+    TraceEvent,
+    as_trace,
+    generate_trace,
+    read_trace,
+    write_trace,
+)
+
+__all__ = [
+    "EventQueue",
+    "JobMetrics",
+    "JobRequest",
+    "OnlineEngine",
+    "OnlinePolicy",
+    "POLICIES",
+    "ServeReport",
+    "StormSpec",
+    "Trace",
+    "TraceEvent",
+    "VirtualClock",
+    "as_trace",
+    "fleet_summary",
+    "generate_trace",
+    "read_trace",
+    "resolve_policy",
+    "trace_cell_id",
+    "write_trace",
+]

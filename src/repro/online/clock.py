@@ -1,0 +1,38 @@
+"""The virtual clock every online run ticks on.
+
+Simulated time is just a float that only ever moves forward; wrapping it in a tiny
+object keeps the monotonicity invariant in one place (an event popped out of order
+is a bug in the queue, not something to silently absorb) and gives the engine one
+``now`` to stamp records with — which is why replayed stores can be byte-identical:
+nothing in an online run ever reads the wall clock.
+"""
+
+from __future__ import annotations
+
+__all__ = ["VirtualClock"]
+
+
+class VirtualClock:
+    """Monotonic simulated time (seconds since trace start)."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, time: float) -> float:
+        """Move to ``time`` (which must not be in the past); returns the new now."""
+        if time < self._now:
+            raise ValueError(
+                f"virtual clock cannot run backwards ({time:g} < {self._now:g}); "
+                "events must be popped in (time, seq) order"
+            )
+        self._now = float(time)
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"VirtualClock(now={self._now:g})"

@@ -1,0 +1,59 @@
+"""The deterministic event queue under the online engine.
+
+A heap of ``(time, seq, payload)`` triples.  ``seq`` is a monotonically increasing
+insertion counter, which gives the queue a *total* order: two events at the same
+instant pop in push order, never by comparing payloads (payloads are engine-internal
+objects with no meaningful ordering).  Total ordering is the whole determinism
+story — same trace + same seed means the same push sequence, hence the same pop
+sequence, hence a bit-identical run (the ``ReplaySchedulerDatabase`` discipline
+from the ray-scheduler prototype).
+
+The engine pushes every trace event up front (arrivals and faults, in trace order)
+and schedules completions as it runs; completions therefore always carry later
+``seq`` values, so at an equal instant the trace's events are handled first — a
+fixed, documented tiebreak rather than an accident of heap layout.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, List, Tuple
+
+__all__ = ["EventQueue"]
+
+
+class EventQueue:
+    """A ``(time, seq)``-totally-ordered discrete-event queue."""
+
+    __slots__ = ("_heap", "_counter")
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Any]] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, payload: Any) -> int:
+        """Schedule ``payload`` at ``time``; returns the assigned sequence number."""
+        if time < 0.0:
+            raise ValueError(f"event time must be non-negative, not {time:g}")
+        seq = next(self._counter)
+        heapq.heappush(self._heap, (float(time), seq, payload))
+        return seq
+
+    def pop(self) -> Tuple[float, int, Any]:
+        """The earliest event as ``(time, seq, payload)`` (ties pop in push order)."""
+        if not self._heap:
+            raise IndexError("pop from an empty EventQueue")
+        return heapq.heappop(self._heap)
+
+    def peek_time(self) -> float:
+        """The time of the next event (the queue must be non-empty)."""
+        if not self._heap:
+            raise IndexError("peek into an empty EventQueue")
+        return self._heap[0][0]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

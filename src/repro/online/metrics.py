@@ -1,0 +1,175 @@
+"""Queueing metrics for online runs, shaped as ordinary result-store rows.
+
+One :class:`JobMetrics` per job becomes one ``kind="trace"`` row — wait, service
+and latency in virtual seconds, the SLO verdict, preemption count — and one
+``kind="trace_fleet"`` summary row closes the run with fleet-level aggregates
+(utilization, SLO-miss rate, wait percentiles).  Rows are plain
+:class:`~repro.api.result.RunResult` objects keyed by :func:`trace_cell_id`, so
+they stream write-through into the same :class:`~repro.api.results.ResultStore`
+as sweep cells, export through the same CSV union, and tail with
+``repro results tail --kind trace``.
+
+Everything here is stamped with *virtual* time (the engine's clock), never the
+wall clock — the invariant that makes two replays of one trace byte-identical on
+disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.api.result import RunResult
+from repro.core.evalcache import fingerprint
+
+__all__ = ["JobMetrics", "fleet_summary", "trace_cell_id"]
+
+#: The pseudo-job id of the per-run fleet summary row.
+FLEET_SUMMARY_JOB = "__fleet__"
+
+
+def trace_cell_id(trace_fingerprint: str, job_id: str) -> str:
+    """The stable store key of one job's row in one trace.
+
+    Content-derived like :func:`repro.api.sweep.cell_key`: the trace's name-blind
+    fingerprint plus the job id, so re-serving the same trace resumes by skipping
+    ids already present, and renaming the trace file changes nothing.
+    """
+    return fingerprint({"trace": trace_fingerprint, "job": job_id})[:16]
+
+
+@dataclass
+class JobMetrics:
+    """One job's life in virtual time (all instants in trace seconds)."""
+
+    job_id: str
+    workload_key: str
+    arrival: float
+    iterations: int = 1
+    deadline_abs: Optional[float] = None
+    wafer: int = -1
+    wafer_name: str = ""
+    start: Optional[float] = None
+    finish: Optional[float] = None
+    #: Priced seconds per iteration on a healthy wafer (the scheduler's answer).
+    iteration_time: float = 0.0
+    preemptions: int = 0
+    status: str = "ok"
+    error: str = ""
+
+    @property
+    def wait_s(self) -> Optional[float]:
+        """Arrival → first dispatch (``None`` while never dispatched)."""
+        return self.start - self.arrival if self.start is not None else None
+
+    @property
+    def service_s(self) -> Optional[float]:
+        """First dispatch → completion, preemptions and slowdowns included."""
+        if self.start is None or self.finish is None:
+            return None
+        return self.finish - self.start
+
+    @property
+    def latency_s(self) -> Optional[float]:
+        """Arrival → completion (what the SLO is judged against)."""
+        return self.finish - self.arrival if self.finish is not None else None
+
+    @property
+    def slo_miss(self) -> bool:
+        """Whether the deadline was blown (a job with no deadline never misses;
+        a deadlined job that never finished always does)."""
+        if self.deadline_abs is None:
+            return False
+        return self.finish is None or self.finish > self.deadline_abs
+
+    def to_run_result(self, trace_fingerprint: str) -> RunResult:
+        """This job as a ``kind="trace"`` result row."""
+        metrics: Dict[str, object] = {
+            "arrival_s": self.arrival,
+            "iterations": self.iterations,
+            "preemptions": self.preemptions,
+            "slo_miss": int(self.slo_miss),
+            "wafer": self.wafer,
+        }
+        if self.iteration_time:
+            metrics["iteration_time"] = self.iteration_time
+        if self.deadline_abs is not None:
+            metrics["deadline_s"] = self.deadline_abs
+        for key, value in (
+            ("wait_s", self.wait_s),
+            ("service_s", self.service_s),
+            ("latency_s", self.latency_s),
+        ):
+            if value is not None:
+                metrics[key] = value
+        return RunResult(
+            kind="trace",
+            metrics=metrics,
+            seconds=self.service_s or 0.0,
+            label=self.job_id,
+            cell_id=trace_cell_id(trace_fingerprint, self.job_id),
+            status=self.status,
+            error=self.error,
+            attempts=1 + self.preemptions,
+        )
+
+
+def _quantile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank quantile of an already-sorted non-empty sequence."""
+    rank = min(len(sorted_values) - 1, max(0, int(round(q * (len(sorted_values) - 1)))))
+    return sorted_values[rank]
+
+
+def fleet_summary(
+    jobs: Sequence[JobMetrics],
+    *,
+    fleet_size: int,
+    busy_s: Sequence[float],
+    makespan: float,
+    policy: str,
+    trace_fingerprint: str,
+) -> RunResult:
+    """The run-closing ``kind="trace_fleet"`` row: fleet-level aggregates.
+
+    ``busy_s`` is per-wafer busy time in virtual seconds; utilization is total
+    busy time over ``fleet_size * makespan`` (0 for an empty run).  Wait and
+    latency aggregates cover completed jobs only; the SLO-miss rate covers every
+    deadlined job, unfinished ones counting as misses.
+    """
+    completed = [job for job in jobs if job.status == "ok" and job.finish is not None]
+    failed = len(jobs) - len(completed)
+    waits = sorted(job.wait_s for job in completed if job.wait_s is not None)
+    latencies = sorted(job.latency_s for job in completed if job.latency_s is not None)
+    deadlined = [job for job in jobs if job.deadline_abs is not None]
+    misses = sum(1 for job in deadlined if job.slo_miss)
+    capacity = fleet_size * makespan
+    metrics: Dict[str, object] = {
+        "jobs": len(jobs),
+        "completed": len(completed),
+        "failed": failed,
+        "preemptions": sum(job.preemptions for job in jobs),
+        "makespan_s": makespan,
+        "util": (sum(busy_s) / capacity) if capacity > 0 else 0.0,
+        "slo_miss": misses,
+        "slo_miss_rate": (misses / len(deadlined)) if deadlined else 0.0,
+    }
+    if waits:
+        metrics["wait_s"] = sum(waits) / len(waits)
+        metrics["wait_p50_s"] = _quantile(waits, 0.50)
+        metrics["wait_p95_s"] = _quantile(waits, 0.95)
+    if latencies:
+        metrics["latency_s"] = sum(latencies) / len(latencies)
+        metrics["latency_p95_s"] = _quantile(latencies, 0.95)
+    return RunResult(
+        kind="trace_fleet",
+        metrics=metrics,
+        seconds=makespan,
+        label=f"fleet[{policy}]",
+        cell_id=trace_cell_id(trace_fingerprint, FLEET_SUMMARY_JOB),
+        status="ok",
+    )
+
+
+def ordered_metrics(jobs: Dict[str, JobMetrics]) -> List[JobMetrics]:
+    """Jobs in admission order (insertion order of the engine's dict)."""
+    return list(jobs.values())
