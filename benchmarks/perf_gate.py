@@ -14,7 +14,14 @@ Two modes:
   - ``sweep_cells_per_sec`` — two-level scheduler sweep throughput (read from the
     ``--sweep`` metrics file written by ``bench_sweep_throughput.py``);
   - ``online_jobs_per_sec`` — trace-serving throughput of the online engine (read
-    from the ``--online`` metrics file written by ``bench_online_serve.py``).
+    from the ``--online`` metrics file written by ``bench_online_serve.py``);
+  - ``trace_overhead_pct`` — cost of the *enabled* ``repro.obs`` tracepoints as
+    a percentage of a fast search run (records written per run x measured
+    per-record cost / plain run time; see ``bench_search_throughput.py``), gated
+    against a fixed ceiling (``trace_overhead_max_pct``, 5 %) instead of a
+    machine-scaled floor — it is a same-machine ratio.  The *disabled*
+    tracepoints have no gate of their own: any cost they grow lands on
+    ``evals_per_sec`` directly.
 
   The throughput metrics fail when they drop more than ``--max-drop`` (30 % by
   default) below the baseline value; the hit rate is machine-independent and is
@@ -50,6 +57,10 @@ import tempfile
 
 DEFAULT_BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)), "baseline.json")
 HIT_RATE_HEADROOM = 0.05
+#: Ceiling on the enabled-tracer slowdown of the fast search path, in percent.
+#: Machine-independent (it is a ratio of two runs on one machine), so refresh
+#: writes the fixed budget rather than a measured-times-headroom value.
+TRACE_OVERHEAD_MAX_PCT = 5.0
 #: The multi-wafer measurement run used by both --refresh and the CI workflow
 #: (keep .github/workflows/ci.yml in sync when changing this).
 MULTIWAFER_ARGS = [
@@ -79,6 +90,14 @@ def _gate_one(name: str, measured, gate_value, max_drop: float) -> bool:
         f"{verdict}: {name} {measured:,.2f} vs baseline {gate_value:,.2f} "
         f"(floor {floor:,.2f} at max drop {max_drop:.0%})"
     )
+    return ok
+
+
+def _gate_ceiling(name: str, measured, ceiling) -> bool:
+    """Gate a cost metric: fail when it rises *above* the baseline ceiling."""
+    ok = measured <= ceiling
+    verdict = "PASS" if ok else "FAIL"
+    print(f"{verdict}: {name} {measured:,.2f} vs ceiling {ceiling:,.2f}")
     return ok
 
 
@@ -123,6 +142,24 @@ def check(
     failed |= not _gate_metric(
         "parallel_evals_per_sec", current, baseline, max_drop, current_path
     )
+    if "trace_overhead_max_pct" in baseline:
+        # Cost ceiling, not a throughput floor: the enabled tracer may slow the
+        # fast search path by at most this many percent.  The disabled path has
+        # no gate of its own — any cost it grows shows up as an evals_per_sec
+        # regression above.
+        if "trace_overhead_pct" not in current:
+            print(f"FAIL: metric 'trace_overhead_pct' missing from {current_path} — "
+                  "the JSON predates this gate; re-run the benchmark")
+            failed = True
+        else:
+            failed |= not _gate_ceiling(
+                "trace_overhead_pct",
+                current["trace_overhead_pct"],
+                baseline["trace_overhead_max_pct"],
+            )
+    else:
+        print("SKIP: baseline has no 'trace_overhead_max_pct' gate (predates it); "
+              "refresh the baseline to start gating it")
     if "multiwafer_warm_hit_rate" in baseline:
         if multiwafer_path is None:
             print("FAIL: baseline gates multiwafer_warm_hit_rate but no --multiwafer "
@@ -257,11 +294,13 @@ def refresh(out_path: str, headroom: float, population: int, generations: int) -
         "evals_per_sec": measured["evals_per_sec"] * (1.0 - headroom),
         "parallel_evals_per_sec": measured["parallel_evals_per_sec"] * (1.0 - headroom),
         "multiwafer_warm_hit_rate": warm["cache_hit_rate"] * (1.0 - HIT_RATE_HEADROOM),
+        "trace_overhead_max_pct": TRACE_OVERHEAD_MAX_PCT,
         "sweep_cells_per_sec": sweep["cells_per_sec"] * (1.0 - headroom),
         "online_jobs_per_sec": online["jobs_per_sec"] * (1.0 - headroom),
         "measured_evals_per_sec": measured["evals_per_sec"],
         "measured_parallel_evals_per_sec": measured["parallel_evals_per_sec"],
         "measured_multiwafer_warm_hit_rate": warm["cache_hit_rate"],
+        "measured_trace_overhead_pct": measured.get("trace_overhead_pct"),
         "measured_sweep_cells_per_sec": sweep["cells_per_sec"],
         "measured_online_jobs_per_sec": online["jobs_per_sec"],
         "sweep_speedup_at_refresh": sweep.get("sweep_speedup"),

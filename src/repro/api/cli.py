@@ -36,6 +36,13 @@ Four subcommands drive the :class:`~repro.api.Session` runtime:
       python -m repro cache stats sweep.jsonl
       python -m repro cache compact sweep.jsonl --max-entries 50000 --max-age 604800
 
+* ``repro profile`` — summarise the span trace a ``--trace`` run wrote: per-stage
+  wall-clock breakdown (pricing, cache sync, dispatch, store I/O — worker spans
+  merged in) plus an ASCII waterfall of the run::
+
+      python -m repro sweep --spec matrix.json --trace run.jsonl --results out.jsonl
+      python -m repro profile run.jsonl
+
 This replaces the per-script argparse plumbing the benchmark and example CLIs used
 to re-assemble by hand; those scripts now build a session from the same helpers
 (:func:`add_session_arguments` / :func:`session_from_args`).
@@ -88,6 +95,10 @@ def add_session_arguments(parser: argparse.ArgumentParser) -> None:
         "--compact-on-exit", action="store_true",
         help="fold the store to one row per key when the session closes",
     )
+    parser.add_argument(
+        "--trace", metavar="OUT", default=None,
+        help="write a span trace (JSONL) of the run for `repro profile`",
+    )
 
 
 def session_from_args(args: argparse.Namespace) -> Session:
@@ -98,6 +109,7 @@ def session_from_args(args: argparse.Namespace) -> Session:
             store=args.store,
             read_through=getattr(args, "read_through", False),
             compact_on_exit=getattr(args, "compact_on_exit", False),
+            trace=getattr(args, "trace", None),
         )
     except ValueError as exc:
         # Bad --store endpoints (malformed port, conflicting namespace) and other
@@ -224,6 +236,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         all_ok = False
     finally:
         if store is not None:
+            if args.no_resume:
+                # A forced re-run appended fresh rows over the old ones; fold the
+                # store back to one row per cell so its size stays bounded.
+                report = store.compact()
+                folded = report["before"] - report["after"]
+                if folded:
+                    print(
+                        f"compacted {args.results}: {report['before']} rows -> "
+                        f"{report['after']} ({folded} duplicate rows folded)"
+                    )
             store.close()
     pending = len(cells) - skipped - len(ran)
     print(
@@ -429,6 +451,14 @@ def _cmd_results(args: argparse.Namespace) -> int:
                 if seconds is not None:
                     bits.append(f"{seconds:.2f}s")
                 print("  ".join(bits))
+        elif args.results_command == "compact":
+            report = store.compact()
+            folded = report["before"] - report["after"]
+            print(
+                f"compacted {args.results_path}: {report['before']} rows -> "
+                f"{report['after']} ({report['cells']} cells, "
+                f"{folded} duplicate rows folded)"
+            )
         else:  # export
             if args.csv == "-":
                 rows = export_csv(store, sys.stdout)
@@ -438,6 +468,31 @@ def _cmd_results(args: argparse.Namespace) -> int:
                 print(f"{rows} cells exported to {args.csv}")
     finally:
         store.close()
+    return 0
+
+
+# ---------------------------------------------------------------------------- profile
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs.report import aggregate, render_table, render_waterfall
+    from repro.obs.tracefile import read_trace
+
+    try:
+        header, spans = read_trace(args.trace_path)
+    except OSError as exc:
+        raise SystemExit(f"repro profile: {exc}") from exc
+    except ValueError as exc:
+        raise SystemExit(f"repro profile: {args.trace_path}: {exc}") from exc
+    agg = aggregate(spans)
+    meta = {
+        key: header[key]
+        for key in ("fingerprint", "cells")
+        if key in header
+    }
+    print(render_table(agg, meta=meta))
+    if not args.no_waterfall:
+        print()
+        print(render_waterfall(spans, width=args.width, max_rows=args.rows))
+    _emit({"trace": args.trace_path, "header": header, **agg}, args.json)
     return 0
 
 
@@ -707,6 +762,7 @@ def build_parser() -> argparse.ArgumentParser:
         ("stats", "cell count, per-kind histogram, time range"),
         ("tail", "the last completed cells, one line each"),
         ("export", "one CSV row per cell with metrics columns"),
+        ("compact", "fold duplicate rows in place (dedupe by cell_id, later wins)"),
     ):
         r = results_sub.add_parser(results_cmd, help=help_text)
         r.add_argument("results_path", help="path of the store (.jsonl, .sqlite, .db)")
@@ -722,6 +778,30 @@ def build_parser() -> argparse.ArgumentParser:
             r.add_argument("--csv", metavar="OUT", required=True,
                            help="CSV output path ('-' for stdout)")
         r.set_defaults(func=_cmd_results)
+
+    profile = sub.add_parser(
+        "profile",
+        help="summarise a span trace (--trace writes them): per-stage breakdown "
+             "table plus an ASCII waterfall of the run",
+    )
+    profile.add_argument("trace_path", help="trace file a --trace run wrote (JSONL)")
+    profile.add_argument(
+        "--width", type=int, default=64, metavar="COLS",
+        help="waterfall bar width in columns (default 64)",
+    )
+    profile.add_argument(
+        "--rows", type=int, default=32, metavar="N",
+        help="waterfall row budget; longest spans kept when over (default 32)",
+    )
+    profile.add_argument(
+        "--no-waterfall", action="store_true",
+        help="print only the stage breakdown table",
+    )
+    profile.add_argument(
+        "--json", metavar="OUT", default=None,
+        help="write the aggregated profile as JSON ('-' for stdout)",
+    )
+    profile.set_defaults(func=_cmd_profile)
 
     cache = sub.add_parser("cache", help="inspect / compact persistent cache stores")
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)

@@ -52,6 +52,11 @@ class RunResult:
     #: a run that survived a worker crash still prices bit-identically, it just
     #: took more tries.
     attempts: int = 1
+    #: Per-stage wall-clock seconds folded from the tracer (``repro.obs``) when the
+    #: session ran with tracing enabled; counter events appear as event counts
+    #: under ``#``-prefixed keys.  Empty when tracing was off.  Volatile — span
+    #: timestamps are run-environment facts, never part of the stored result.
+    timings: Dict[str, float] = field(default_factory=dict)
 
     def __bool__(self) -> bool:
         """Non-empty means the run actually produced something usable."""
@@ -93,6 +98,7 @@ class RunResult:
             # Attempts are volatile on purpose: a cell that survived a worker
             # crash produced the same (pure) result, it just took more tries.
             data["attempts"] = self.attempts
+            data["timings"] = dict(self.timings)
         return data
 
     def summary(self) -> str:

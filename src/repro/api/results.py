@@ -36,6 +36,7 @@ from collections import Counter, OrderedDict
 from typing import Any, Dict, List, Optional, Sequence, TextIO, Tuple, Union
 
 from repro.core.evalcache import _move_aside
+from repro.obs import tracer as _obs
 
 __all__ = [
     "RESULTS_SCHEMA_VERSION",
@@ -123,6 +124,28 @@ class ResultStore:
     def replace_all(self, records: "OrderedDict[str, Dict[str, Any]]") -> None:
         """Atomically rewrite the store to exactly ``records`` (schema resets)."""
         raise NotImplementedError
+
+    def physical_rows(self) -> int:
+        """Rows physically on disk, duplicates included (what :meth:`compact` folds).
+
+        The base implementation equals the deduped cell count; append-only
+        backends override it to count raw rows.
+        """
+        return len(self.load())
+
+    def compact(self) -> Dict[str, int]:
+        """Fold duplicate rows to one per ``cell_id`` (later wins), via replace_all.
+
+        JSONL stores grow append-only, so every ``--no-resume`` re-run of a matrix
+        appends a fresh row per cell and only the last one wins on load — the same
+        dead-row accumulation the evaluation cache compacts away.  Returns
+        ``{"before": raw rows, "after": rows kept, "cells": distinct cells}``.
+        """
+        with _obs.span("store.compact", tag=self.path):
+            before = self.physical_rows()
+            records = self.load()
+            self.replace_all(records)
+        return {"before": before, "after": len(records), "cells": len(records)}
 
     def close(self) -> None:  # pragma: no cover - trivial default
         """Release any held resources (sqlite connections)."""
@@ -301,7 +324,20 @@ class JsonlResultStore(ResultStore):
         except (OSError, ValueError):  # empty file: seek(-1) raises
             return True
 
+    def physical_rows(self) -> int:
+        """Raw data lines on disk — duplicates from ``--no-resume`` re-runs included."""
+        if not os.path.exists(self.path):
+            return 0
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                if self._parse_header(handle.readline()) is None:
+                    return 0
+                return sum(1 for line in handle if line.strip())
+        except OSError:
+            return 0
+
     def put(self, cell_id: str, record: Dict[str, Any]) -> None:
+        t0 = _obs.now() if _obs.enabled else 0.0
         self._check_file()
         if self._foreign_file:
             _move_aside(self.path)
@@ -317,11 +353,14 @@ class JsonlResultStore(ResultStore):
             elif torn:
                 handle.write("\n")
             handle.write(json.dumps({"c": cell_id, "v": record}) + "\n")
+        if _obs.enabled:
+            _obs.add("store.put", t0, _obs.now(), tag=cell_id)
 
     def put_many(self, items: Sequence[Tuple[str, Dict[str, Any]]]) -> None:
         """One append-mode open for the whole batch (rows identical to per-put)."""
         if not items:
             return
+        t0 = _obs.now() if _obs.enabled else 0.0
         self._check_file()
         if self._foreign_file:
             _move_aside(self.path)
@@ -335,6 +374,8 @@ class JsonlResultStore(ResultStore):
                 handle.write("\n")
             for cell_id, record in items:
                 handle.write(json.dumps({"c": cell_id, "v": record}) + "\n")
+        if _obs.enabled:
+            _obs.add("store.put", t0, _obs.now(), tag=f"batch:{len(items)}")
 
     def replace_all(self, records: "OrderedDict[str, Dict[str, Any]]") -> None:
         self._check_file()  # no-op when re-entered from the check itself
@@ -459,7 +500,20 @@ class SqliteResultStore(ResultStore):
             self.load_errors += 1
             return None
 
+    def physical_rows(self) -> int:
+        """Row count in the results table (keyed upserts never hold duplicates)."""
+        if not os.path.exists(self.path):
+            return 0
+        conn = self._validated()
+        if conn is None:
+            return 0
+        try:
+            return int(conn.execute("SELECT COUNT(*) FROM results").fetchone()[0])
+        except sqlite3.DatabaseError:
+            return 0
+
     def put(self, cell_id: str, record: Dict[str, Any]) -> None:
+        t0 = _obs.now() if _obs.enabled else 0.0
         conn = self._validated()
         if conn is None:
             conn = self._connect()
@@ -471,11 +525,14 @@ class SqliteResultStore(ResultStore):
             (str(cell_id), json.dumps(record), float(record.get("written_at") or 0.0)),
         )
         conn.commit()
+        if _obs.enabled:
+            _obs.add("store.put", t0, _obs.now(), tag=cell_id)
 
     def put_many(self, items: Sequence[Tuple[str, Dict[str, Any]]]) -> None:
         """One transaction for the whole batch (rows identical to per-put)."""
         if not items:
             return
+        t0 = _obs.now() if _obs.enabled else 0.0
         conn = self._validated()
         if conn is None:
             conn = self._connect()
@@ -490,6 +547,8 @@ class SqliteResultStore(ResultStore):
             ],
         )
         conn.commit()
+        if _obs.enabled:
+            _obs.add("store.put", t0, _obs.now(), tag=f"batch:{len(items)}")
 
     def replace_all(self, records: "OrderedDict[str, Dict[str, Any]]") -> None:
         conn = self._validated()

@@ -24,12 +24,17 @@ direct-call path (asserted in ``tests/test_session.py``).
 from __future__ import annotations
 
 import atexit
+import hashlib
 import os
 import queue
 import threading
 import time
 import traceback
 from typing import Any, Dict, Iterable, Iterator, Mapping, Optional, Union
+
+from repro.obs import tracer as _obs
+from repro.obs.report import fold_timings
+from repro.obs.tracefile import write_trace
 
 from repro.core import runtime
 from repro.core.central_scheduler import CentralScheduler
@@ -104,6 +109,16 @@ class Session:
         session opens (and closes) itself.  The store becomes *ambient* the same
         way the cache is: every :meth:`sweep` on (or inside) this session streams
         completed cells to it unless the call names its own.
+    results_compact:
+        When set, :meth:`close` compacts the session's result store — folds
+        duplicate rows (``--no-resume`` re-runs append one per cell) to one row
+        per ``cell_id``, later wins — the result-store mirror of
+        ``compact_on_exit``.
+    trace:
+        A path; enables the :mod:`repro.obs` tracer for this session's lifetime
+        and writes the recorded spans (workers' included) there as a versioned
+        JSONL span log on :meth:`close`.  ``repro profile <path>`` renders it.
+        Tracing is volatile-only: results are bit-identical with it on or off.
     """
 
     def __init__(
@@ -120,7 +135,9 @@ class Session:
         compact_max_entries: Optional[int] = None,
         compact_max_age_s: Optional[float] = None,
         results: Optional[Union[str, os.PathLike, ResultStore]] = None,
+        results_compact: bool = False,
         retry: Optional[RetryPolicy] = None,
+        trace: Optional[Union[str, os.PathLike]] = None,
     ) -> None:
         if cache is not None and store is not None:
             raise ValueError("pass either cache= (adopted) or store= (owned), not both")
@@ -181,9 +198,18 @@ class Session:
         self.results: Optional[ResultStore] = (
             open_result_store(results) if self._owns_results else results
         )
+        self.results_compact = results_compact
         #: Default :class:`RetryPolicy` for this session's sweeps (a ``sweep``
         #: call's own ``retry=`` wins).  ``None`` means the built-in defaults.
         self.retry = retry
+        self._trace_path: Optional[str] = os.fspath(trace) if trace is not None else None
+        self._trace_meta: Dict[str, Any] = {}
+        self._trace_mark = 0
+        self._trace_enabled_here = False
+        if self._trace_path is not None:
+            self._trace_enabled_here = not _obs.is_enabled()
+            _obs.enable()
+            self._trace_mark = _obs.mark()
         self._pool_lock = threading.Lock()
         self._closed = False
 
@@ -225,10 +251,20 @@ class Session:
             )
         if self._owns_cache:
             self.cache.close()
+        if self.results_compact and self.results is not None:
+            self.results.compact()
         if self._owns_results and self.results is not None:
             self.results.close()
         if self.fabric is not None:
             self.fabric.close()
+        if self._trace_path is not None:
+            # Written last: the pool is joined, so every worker ring the carries
+            # shipped is already merged into this process's tracer.
+            write_trace(
+                self._trace_path, _obs.records(since=self._trace_mark), meta=self._trace_meta
+            )
+            if self._trace_enabled_here:
+                _obs.disable()
 
     @property
     def closed(self) -> bool:
@@ -273,12 +309,18 @@ class Session:
             "dse": self._run_dse,
             "watos": self._run_watos,
         }[spec.kind]
+        trace_mark = _obs.mark() if _obs.enabled else None
         start = time.perf_counter()
         run_result = runner(spec)
         run_result.seconds = time.perf_counter() - start
         run_result.label = spec.name or spec.kind
         run_result.cache_stats = self.cache.stats.as_dict()
         self.cache.flush()
+        if trace_mark is not None and _obs.enabled:
+            # Volatile diagnostics only (never stored/fingerprinted).  Under
+            # jobs>1 concurrent cells share the ring, so per-run totals may
+            # include sibling spans — the trace file keeps the exact timeline.
+            run_result.timings = fold_timings(_obs.records(since=trace_mark))
         return run_result
 
     def sweep(
@@ -359,6 +401,13 @@ class Session:
             resume = False
         spec = as_sweep_spec(sweep)
         cells = spec.expand()
+        if self._trace_path is not None:
+            # Content-derived matrix fingerprint for the trace header: stable
+            # across a resume of the same matrix (span timestamps are not).
+            digest = hashlib.sha256(
+                "\n".join(cell.cell_id for cell in cells).encode("utf-8")
+            ).hexdigest()[:16]
+            self._trace_meta = {"fingerprint": digest, "cells": len(cells)}
         if schedule is not None and jobs is not None:
             raise ValueError("pass either jobs= or schedule=ScheduleConfig(...), not both")
         if jobs is not None and jobs < 1:
@@ -745,7 +794,8 @@ class Session:
         if retry.timeout_s is not None:
             runtime.set_deadline(time.monotonic() + retry.timeout_s)
         try:
-            run = self.run(cell.spec)
+            with _obs.span("cell", tag=cell.cell_id):
+                run = self.run(cell.spec)
         except Exception:
             return None, traceback.format_exc()
         else:

@@ -55,6 +55,8 @@ from collections import OrderedDict
 from dataclasses import fields, is_dataclass
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
+from repro.obs import tracer as _obs
+
 __all__ = [
     "CACHE_SCHEMA_VERSION",
     "EvaluationCache",
@@ -718,6 +720,8 @@ class EvaluationCache:
             if entry is not None:
                 self._entries.move_to_end(key)
                 self.stats.hits += 1
+                if _obs.enabled:
+                    _obs.count("cache.hit")
                 return entry
             if self.read_through and self.store is not None:
                 entry = self.store.get(key)
@@ -725,8 +729,12 @@ class EvaluationCache:
                     self._adopt_from_store(key, entry)
                     self.stats.hits += 1
                     self.stats.store_hits += 1
+                    if _obs.enabled:
+                        _obs.count("cache.hit")
                     return entry
             self.stats.misses += 1
+            if _obs.enabled:
+                _obs.count("cache.miss")
             return None
 
     def peek(self, key: str) -> Optional[Any]:
@@ -864,7 +872,7 @@ class EvaluationCache:
         has already evicted are skipped (the store, not the workers, keeps history),
         and read-through adoptions never appear (workers read the same store file).
         """
-        with self._lock:
+        with _obs.span("cache.sync", tag="export_since"), self._lock:
             if watermark >= self._seq:
                 return {}, self._seq
             entries: Dict[str, Any] = {}
@@ -912,7 +920,7 @@ class EvaluationCache:
         since the last carry), not O(cache) — per-submission carry cost must not
         grow with the life of the shard.
         """
-        with self._lock:
+        with _obs.span("cache.sync", tag="take_carry"), self._lock:
             delta: Dict[str, Any] = {}
             for key in self._unshipped:
                 if key in self._seeded:
@@ -946,10 +954,11 @@ class EvaluationCache:
         with self._lock:
             if self.store is None or not self._dirty:
                 return 0
-            self.store.append(
-                self._dirty,
-                {k: self._priced_at[k] for k in self._dirty if k in self._priced_at},
-            )
+            with _obs.span("cache.flush", tag=str(len(self._dirty))):
+                self.store.append(
+                    self._dirty,
+                    {k: self._priced_at[k] for k in self._dirty if k in self._priced_at},
+                )
             written = len(self._dirty)
             self.stats.flushed += written
             self._seeded.update(self._dirty)

@@ -31,6 +31,7 @@ from repro.core.evalcache import (
     fingerprint,
     hardware_fingerprint,
 )
+from repro.obs import tracer as _obs
 from repro.core.parallel_map import WorkerPool, parallel_map, resolve_workers, task_cache
 from repro.core.plan import RecomputeConfig, StagePlacement, TrainingPlan
 from repro.core.pp_engine import PPEngine
@@ -352,13 +353,22 @@ class Evaluator:
         """
         if self.cache is None:
             self.raw_evaluations += 1
-            return self._evaluate_uncached(workload, plan)
+            # Manual span form: on this innermost path even a no-op context
+            # manager would be measurable, the flag check is not.
+            t0 = _obs.now() if _obs.enabled else 0.0
+            result = self._evaluate_uncached(workload, plan)
+            if _obs.enabled:
+                _obs.add("pricing", t0, _obs.now())
+            return result
         key = self.fingerprint(workload, plan)
         cached = self.cache.get(key)
         if cached is not None:
             return cached
         self.raw_evaluations += 1
+        t0 = _obs.now() if _obs.enabled else 0.0
         result = self._evaluate_uncached(workload, plan)
+        if _obs.enabled:
+            _obs.add("pricing", t0, _obs.now())
         self.cache.put(key, result)
         return result
 

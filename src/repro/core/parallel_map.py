@@ -72,6 +72,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.core import runtime
 from repro.core.evalcache import EvaluationCache
+from repro.obs import tracer as _obs
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -205,6 +206,9 @@ def _worker_main(task_conn, result_conn, index: int = 0) -> None:
     # any pool it references is unusable here, and a bare loop call inside a task
     # must never resolve to it — nested pools would deadlock.
     runtime.reset_for_worker()
+    # The fork also copied the parent's trace ring; the worker must not re-ship
+    # the parent's spans, so it starts a fresh ring stamped with its slot index.
+    _obs.reset_in_worker(index)
     _TLS.cache = None
     shard: Optional[EvaluationCache] = None
     tasks_seen = 0
@@ -233,17 +237,34 @@ def _worker_main(task_conn, result_conn, index: int = 0) -> None:
         elif kind == "map":
             func, chunk, use_shard = message[1], message[2], message[3]
             tag = message[4] if len(message) > 4 else ""
+            # The parent's tracing flag rides on every map message: workers fork
+            # before tracing may be enabled (or after, before it is disabled), so
+            # this is what keeps long-lived rings in step with the parent.
+            trace_on = bool(message[5]) if len(message) > 5 else False
+            if trace_on != _obs.enabled:
+                _obs.enable(worker=index) if trace_on else _obs.disable()
             if use_shard and shard is None:
                 shard = EvaluationCache(max_entries=None)
             _TLS.cache = shard if use_shard else None
             try:
+                chunk_t0 = _obs.now() if _obs.enabled else 0.0
                 payloads = []
                 for item in chunk:
                     tasks_seen += 1
                     if _TASK_HOOK is not None:
                         _TASK_HOOK(index, tasks_seen, tag)
                     payloads.append(func(item))
+                if _obs.enabled:
+                    _obs.add("worker.chunk", chunk_t0, _obs.now(), tag=tag)
                 carry = shard.take_carry() if use_shard else None
+                if _obs.enabled:
+                    # Flush this submission's spans back through the carry path so
+                    # they merge into the parent's timeline (worker-slot order).
+                    spans = _obs.drain()
+                    if spans:
+                        if carry is None:
+                            carry = {"delta": {}, "stats": {}}
+                        carry["spans"] = spans
                 result_conn.send(("ok", payloads, carry))
             except BaseException as exc:
                 detail = traceback.format_exc()
@@ -734,7 +755,8 @@ class WorkerPool:
             self._ensure_started()
             cache = self._cache if sync else None
             if cache is not None:
-                self._sync_shards(cache)
+                with _obs.span("cache.sync", tag="ship"):
+                    self._sync_shards(cache)
             slots = self._lease(len(items))
         if not slots:
             # Total pool collapse: serve the whole map in-process, once-warned.
@@ -762,9 +784,13 @@ class WorkerPool:
             hi = lo + base + (1 if position < extra else 0)
             chunks[slot] = items[lo:hi]
             lo = hi
+        trace_on = _obs.enabled
         with self._lock:
-            for slot in slots:
-                self._task_conns[slot].send(("map", func, chunks[slot], use_shard, tag))
+            with _obs.span("dispatch", tag=tag):
+                for slot in slots:
+                    self._task_conns[slot].send(
+                        ("map", func, chunks[slot], use_shard, tag, trace_on)
+                    )
 
         payloads: Dict[int, List[R]] = {}
         carries: List[Tuple[int, Optional[Dict[str, Any]]]] = []
@@ -774,6 +800,7 @@ class WorkerPool:
         task_failure: Optional[Tuple[str, Optional[BaseException]]] = None
         crash_failure: Optional[str] = None
         timed_out = False
+        drain_t0 = _obs.now() if trace_on else 0.0
         try:
             while pending:
                 limit = runtime.deadline()
@@ -849,7 +876,7 @@ class WorkerPool:
                             del pending[slot]
                         elif alive:
                             self._task_conns[slot].send(
-                                ("map", func, pending[slot], use_shard, tag)
+                                ("map", func, pending[slot], use_shard, tag, trace_on)
                             )
                         else:
                             # No replacement worker to be had: fall back to pricing
@@ -861,6 +888,9 @@ class WorkerPool:
             self.close()
             raise
 
+        if trace_on:
+            _obs.add("drain", drain_t0, _obs.now(), tag=tag)
+
         # Absorb the successful workers' carries even when another worker failed:
         # their shards already marked those entries as shipped (take_carry), so
         # dropping the carries here would lose the priced work for good.
@@ -869,6 +899,14 @@ class WorkerPool:
             for slot, carry in carries:
                 if not carry:
                     continue
+                # Worker span rings ride the carry; absorb them here — in the
+                # deterministic worker-slot order the sort just established — and
+                # not in merge(), which callers may no-op (see evaluate_many).
+                spans = carry.pop("spans", None)
+                if spans:
+                    _obs.absorb(spans)
+                    if not carry["delta"] and not carry["stats"]:
+                        continue  # trace-only carry (sync=False map): nothing to merge
                 for key in carry["delta"]:
                     self._origin[key] = slot
                 if merge is not None:

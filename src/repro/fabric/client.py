@@ -25,6 +25,7 @@ import time
 from typing import Any, Dict, List, Optional, Union
 
 from repro.core.evalcache import decode_value, encode_value
+from repro.obs import tracer as _obs
 from repro.fabric.protocol import (
     PROTOCOL_VERSION,
     Endpoint,
@@ -159,7 +160,7 @@ class FabricClient:
         client is marked :attr:`lost` and raises :class:`FabricConnectionError`.
         """
         frame = {"op": op, **payload}
-        with self._lock:
+        with _obs.span("fabric.request", tag=op), self._lock:
             if self._closed:
                 raise FabricConnectionError("fabric client is closed")
             if self.lost:

@@ -1,0 +1,156 @@
+"""Post-hoc aggregation of span records: stage tables, fold-ins, waterfall view.
+
+Everything here consumes the normalised span dicts produced by
+:func:`repro.obs.tracer.as_dicts` / :func:`repro.obs.tracefile.read_trace`, so
+it works identically on a live ring snapshot and on a trace file read back from
+disk.  This is the rendering half of ``repro profile``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.obs import tracer
+
+
+def _spans(records: Sequence[Any]) -> List[Dict[str, Any]]:
+    return tracer.as_dicts(records)
+
+
+def fold_timings(records: Sequence[Any]) -> Dict[str, float]:
+    """Per-stage wall-clock seconds (span durations summed by name).
+
+    This is what lands in ``RunResult.timings`` — volatile diagnostics, excluded
+    from fingerprints and stored (deterministic) result rows.  Counter events are
+    folded as event counts under a ``#``-prefixed key so the two units cannot be
+    confused (``{"pricing": 0.41, "#cache.hit": 388.0}``).
+    """
+    totals: Dict[str, float] = {}
+    for span in _spans(records):
+        if span.get("kind") == "S":
+            duration = float(span.get("t_end") or 0.0) - float(span.get("t_start") or 0.0)
+            name = str(span.get("name"))
+            totals[name] = totals.get(name, 0.0) + max(duration, 0.0)
+        elif span.get("kind") == "C":
+            key = "#" + str(span.get("name"))
+            totals[key] = totals.get(key, 0.0) + float(span.get("value") or 0.0)
+    return {name: round(value, 9) for name, value in sorted(totals.items())}
+
+
+def aggregate(records: Sequence[Any]) -> Dict[str, Any]:
+    """Stage/counter statistics plus the overall wall-clock extent of the trace."""
+    spans = _spans(records)
+    stages: Dict[str, Dict[str, Any]] = {}
+    counters: Dict[str, Dict[str, float]] = {}
+    t_min = math.inf
+    t_max = -math.inf
+    for span in spans:
+        t0 = float(span.get("t_start") or 0.0)
+        t1 = float(span.get("t_end") or 0.0)
+        t_min = min(t_min, t0)
+        t_max = max(t_max, t1)
+        name = str(span.get("name"))
+        if span.get("kind") == "S":
+            stage = stages.setdefault(
+                name, {"count": 0, "total_s": 0.0, "max_s": 0.0, "workers": set()}
+            )
+            duration = max(t1 - t0, 0.0)
+            stage["count"] += 1
+            stage["total_s"] += duration
+            stage["max_s"] = max(stage["max_s"], duration)
+            stage["workers"].add(span.get("worker"))
+        elif span.get("kind") == "C":
+            counter = counters.setdefault(name, {"count": 0.0, "total": 0.0})
+            counter["count"] += 1
+            counter["total"] += float(span.get("value") or 0.0)
+    wall_s = (t_max - t_min) if spans else 0.0
+    for stage in stages.values():
+        stage["mean_s"] = stage["total_s"] / stage["count"] if stage["count"] else 0.0
+        workers = stage.pop("workers")
+        stage["processes"] = len(workers)
+        stage["from_workers"] = any(worker is not None for worker in workers)
+    return {"wall_s": max(wall_s, 0.0), "spans": len(spans), "stages": stages, "counters": counters}
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:8.3f} s "
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:8.3f} ms"
+    return f"{seconds * 1e6:8.1f} us"
+
+
+def render_table(agg: Dict[str, Any], meta: Optional[Dict[str, Any]] = None) -> str:
+    """The per-stage breakdown table ``repro profile`` prints."""
+    lines: List[str] = []
+    if meta:
+        parts = [f"{key}={meta[key]}" for key in sorted(meta) if key not in ("format", "version")]
+        if parts:
+            lines.append("trace: " + "  ".join(parts))
+    wall = agg["wall_s"]
+    lines.append(f"wall-clock {wall:.3f} s over {agg['spans']} records")
+    lines.append("")
+    lines.append(f"{'stage':<24} {'count':>7} {'total':>11} {'mean':>11} {'share':>7}")
+    lines.append("-" * 64)
+    stages = sorted(agg["stages"].items(), key=lambda item: item[1]["total_s"], reverse=True)
+    for name, stage in stages:
+        share = (stage["total_s"] / wall * 100.0) if wall > 0 else 0.0
+        marker = "*" if stage["from_workers"] else " "
+        lines.append(
+            f"{name:<24} {stage['count']:>7} {_fmt_seconds(stage['total_s']):>11}"
+            f" {_fmt_seconds(stage['mean_s']):>11} {share:>6.1f}%{marker}"
+        )
+    if not stages:
+        lines.append("(no spans)")
+    if any(stage["from_workers"] for _, stage in stages):
+        lines.append("  * includes spans merged from pool workers")
+    if agg["counters"]:
+        lines.append("")
+        lines.append(f"{'counter':<24} {'events':>7} {'total':>11}")
+        lines.append("-" * 44)
+        for name, counter in sorted(
+            agg["counters"].items(), key=lambda item: item[1]["total"], reverse=True
+        ):
+            lines.append(f"{name:<24} {int(counter['count']):>7} {counter['total']:>11.0f}")
+    return "\n".join(lines)
+
+
+def render_waterfall(records: Sequence[Any], width: int = 64, max_rows: int = 32) -> str:
+    """ASCII flame/waterfall: one bar per span on the shared monotonic time axis.
+
+    Rows are chronological; nesting depth indents the stage name (the flame
+    axis), and the lane column says which process recorded the span (``main`` or
+    ``w<idx>`` for pool workers).  When the trace holds more spans than
+    ``max_rows``, the longest ones are kept so the picture stays dominated by
+    where the time actually went.
+    """
+    spans = [span for span in _spans(records) if span.get("kind") == "S"]
+    if not spans:
+        return "(no spans to draw)"
+    t_min = min(float(span["t_start"]) for span in spans)
+    t_max = max(float(span["t_end"]) for span in spans)
+    scale = max(t_max - t_min, 1e-9)
+    rows = sorted(spans, key=lambda span: (float(span["t_start"]), float(span["t_end"])))
+    dropped = 0
+    if len(rows) > max_rows:
+        dropped = len(rows) - max_rows
+        rows = sorted(rows, key=lambda s: float(s["t_end"]) - float(s["t_start"]), reverse=True)
+        rows = sorted(rows[:max_rows], key=lambda s: (float(s["t_start"]), float(s["t_end"])))
+    lines = [f"{'lane':>5} {'span':<26} |{'time →':<{width}}| duration"]
+    for span in rows:
+        t0 = float(span["t_start"])
+        t1 = float(span["t_end"])
+        lo = int((t0 - t_min) / scale * width)
+        hi = max(lo + 1, int(math.ceil((t1 - t_min) / scale * width)))
+        hi = min(hi, width)
+        lo = min(lo, hi - 1)
+        bar = "." * lo + "#" * (hi - lo) + "." * (width - hi)
+        worker = span.get("worker")
+        lane = "main" if worker is None else f"w{worker}"
+        depth = int(span.get("depth") or 0)
+        name = ("  " * depth + str(span.get("name")))[:26]
+        lines.append(f"{lane:>5} {name:<26} |{bar}| {_fmt_seconds(t1 - t0).strip()}")
+    if dropped:
+        lines.append(f"({dropped} shorter span(s) not drawn; --rows raises the limit)")
+    return "\n".join(lines)

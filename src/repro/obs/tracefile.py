@@ -1,0 +1,96 @@
+"""Versioned JSONL span log: what ``Session(trace=...)`` writes, ``repro profile`` reads.
+
+File layout mirrors the result-store discipline (``repro.api.results``): a single
+JSON header line identifying the format and schema version, then one compact JSON
+object per record.  Records use short keys to keep big traces small::
+
+    {"format": "watos-trace-spans", "version": 1, "fingerprint": "…", "cells": 4}
+    {"k": "S", "n": "pricing", "b": 12.001, "e": 12.034, "g": "", "p": 71, "w": 0, "d": 0, "v": 1.0}
+
+The reader tolerates a torn final line (a crash mid-write) by skipping it, the
+same recovery rule the result store uses, so ``repro profile`` still works on a
+trace from an interrupted run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs import tracer
+
+TRACE_FORMAT = "watos-trace-spans"
+TRACE_VERSION = 1
+
+# full field name <-> compact on-disk key (same order as tracer.FIELDS)
+_SHORT_KEYS = ("k", "n", "b", "e", "g", "p", "w", "d", "v")
+_TO_SHORT = dict(zip(tracer.FIELDS, _SHORT_KEYS))
+_TO_LONG = dict(zip(_SHORT_KEYS, tracer.FIELDS))
+
+
+def write_trace(
+    path: str,
+    records: Sequence[Any],
+    meta: Optional[Dict[str, Any]] = None,
+) -> int:
+    """Write a span log (header + one line per record); returns the record count.
+
+    ``records`` may be raw tracer ring tuples or span dicts.  ``meta`` is folded
+    into the header line (e.g. the sweep fingerprint, which is stable across a
+    resume of the same matrix).  The file is replaced atomically so a torn write
+    never corrupts an existing trace.
+    """
+    spans = tracer.as_dicts(records)
+    header: Dict[str, Any] = {"format": TRACE_FORMAT, "version": TRACE_VERSION}
+    for key, value in (meta or {}).items():
+        if key not in ("format", "version"):
+            header[key] = value
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    tmp_path = f"{path}.tmp.{os.getpid()}"
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(header, sort_keys=True) + "\n")
+        for span in spans:
+            row = {_TO_SHORT[field]: span.get(field) for field in tracer.FIELDS}
+            handle.write(json.dumps(row) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, path)
+    return len(spans)
+
+
+def read_trace(path: str) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
+    """Read a span log; returns ``(header, spans)`` with full-key span dicts.
+
+    Raises :class:`ValueError` on a missing/foreign header or an unknown schema
+    version.  A torn final line (no trailing record after a crash) is skipped;
+    torn lines elsewhere are skipped too rather than failing the whole report.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.readlines()
+    if not lines:
+        raise ValueError(f"{path}: empty trace file")
+    try:
+        header = json.loads(lines[0])
+    except ValueError:
+        header = None
+    if not isinstance(header, dict) or header.get("format") != TRACE_FORMAT:
+        raise ValueError(f"{path}: not a {TRACE_FORMAT} file (wrote it with --trace?)")
+    if header.get("version") != TRACE_VERSION:
+        raise ValueError(
+            f"{path}: trace schema version {header.get('version')!r} "
+            f"(this build reads version {TRACE_VERSION})"
+        )
+    spans: List[Dict[str, Any]] = []
+    for line in lines[1:]:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            row = json.loads(line)
+        except ValueError:
+            continue  # torn line (tail of an interrupted write): skip, keep the rest
+        if isinstance(row, dict):
+            spans.append({_TO_LONG.get(key, key): value for key, value in row.items()})
+    return header, spans

@@ -35,6 +35,7 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 from repro.core.central_scheduler import CentralScheduler
 from repro.core.evalcache import fingerprint
 from repro.hardware.faults import FaultEvent, FaultModel
+from repro.obs import tracer as _obs
 from repro.online.clock import VirtualClock
 from repro.online.events import EventQueue
 from repro.online.metrics import JobMetrics, fleet_summary
@@ -349,6 +350,7 @@ class OnlineEngine:
                 pending = wafer.running
                 metrics = self._metrics[pending.job.id]
                 metrics.preemptions += 1
+                _obs.count("online.preempt", tag=pending.job.id)
                 wafer.busy_s += now - wafer.busy_since
                 wafer.running = None
                 # Restart from scratch: training state died with the die/link.
@@ -405,7 +407,8 @@ class OnlineEngine:
         metrics = self._metrics[pending.job.id]
         metrics.wafer = wafer.index
         metrics.wafer_name = wafer.name
-        price = self._price(wafer, pending.job)
+        with _obs.span("online.place", tag=pending.job.id):
+            price = self._price(wafer, pending.job)
         if price is None:
             # Every candidate pruned or OOM on this wafer: the job cannot run
             # there, and retrying elsewhere would make completion order depend on
